@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 1: distribution of weight, activation, and KV-cache sizes per
+ * operation for DeepSeek-V3, Grok 1, and Llama 3 in the prefill and decode
+ * stages (global model view, batch 256 decode / one 8 K-token prefill).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "llm/layer_graph.h"
+#include "llm/model_config.h"
+
+using namespace rome;
+
+namespace
+{
+
+struct Dist
+{
+    std::vector<double> v;
+
+    void
+    add(std::uint64_t bytes)
+    {
+        if (bytes > 0)
+            v.push_back(static_cast<double>(bytes));
+    }
+
+    std::string
+    row() const
+    {
+        if (v.empty())
+            return "-";
+        std::vector<double> s = v;
+        std::sort(s.begin(), s.end());
+        const auto pick = [&](double q) {
+            return s[static_cast<std::size_t>(q * (s.size() - 1))];
+        };
+        return Table::bytes(static_cast<std::uint64_t>(s.front())) + " / " +
+               Table::bytes(static_cast<std::uint64_t>(pick(0.5))) + " / " +
+               Table::bytes(static_cast<std::uint64_t>(s.back()));
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 1 — per-operation data sizes "
+                "(min / median / max across ops)\n\n");
+    for (const auto& model : evaluatedModels()) {
+        Table t(model.name);
+        t.setHeader({"stage", "weight", "activation", "KV cache",
+                     "total bytes"});
+        for (const Stage stage : {Stage::Prefill, Stage::Decode}) {
+            const Workload wl{stage, stage == Stage::Decode ? 256 : 1,
+                              8192, 1};
+            const auto ops = buildOpGraph(model, wl, singleDevice());
+            Dist w, a, kv;
+            for (const auto& op : ops) {
+                w.add(op.weightBytes);
+                a.add(op.activationBytes);
+                kv.add(op.kvReadBytes + op.kvWriteBytes);
+            }
+            const auto s = summarize(ops);
+            t.addRow({stage == Stage::Prefill ? "prefill" : "decode",
+                      w.row(), a.row(), kv.row(),
+                      Table::bytes(s.totalBytes())});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    std::printf("Most weight and KV-cache accesses exceed hundreds of KB;\n"
+                "decode activations are small, prefill activations reach "
+                "tens of MB (paper §III).\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 2: HBM generation trends — (a) data rate, core frequency, and
+ * channel width; (b) C/A-per-DQ pin ratio and aggregate C/A bandwidth.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "dram/hbm_generations.h"
+
+using namespace rome;
+
+int
+main()
+{
+    Table a("Figure 2(a) — data rate / core frequency / channel width");
+    a.setHeader({"generation", "data rate (Gb/s)", "core freq (MHz)",
+                 "channel width (b)", "channels", "PCs/ch"});
+    for (const auto& g : hbmGenerations()) {
+        a.addRow({g.name, Table::num(g.dataRateGbps, 1),
+                  Table::num(g.coreFreqMhz, 0),
+                  std::to_string(g.channelWidthBits),
+                  std::to_string(g.channelsPerCube),
+                  std::to_string(g.pcsPerChannel)});
+    }
+    a.print();
+
+    Table b("Figure 2(b) — C/A pin overhead growth");
+    b.setHeader({"generation", "C/A pins/ch", "C/A / DQ ratio",
+                 "C/A bandwidth (GB/s)", "data bandwidth (GB/s)"});
+    for (const auto& g : hbmGenerations()) {
+        b.addRow({g.name, std::to_string(g.caPinsPerChannel),
+                  Table::num(g.caPerDqRatio(), 3),
+                  Table::num(g.caBandwidthGBs(), 1),
+                  Table::num(g.dataBandwidthGBs(), 0)});
+    }
+    b.print();
+
+    const auto& gens = hbmGenerations();
+    std::printf("\nC/A-to-DQ ratio grew %.1fx from HBM1 to HBM4 "
+                "(the paper: nearly doubled twice).\n",
+                gens.back().caPerDqRatio() / gens.front().caPerDqRatio());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9: the fixed command sequences the generator emits for RD_row and
+ * WR_row on the adopted VBA (plus the §V-B paired refresh), dumped as a
+ * per-nanosecond trace of one pseudo channel.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "dram/hbm4_config.h"
+#include "rome/cmdgen.h"
+
+using namespace rome;
+
+namespace
+{
+
+void
+dump(RowCmdKind kind)
+{
+    const DramConfig cfg = hbm4Config();
+    const VbaMap map(cfg.org, cfg.timing, VbaDesign::adopted());
+    ChannelDevice dev(map.deviceOrganization(), map.deviceTiming());
+    CommandGenerator gen(map, dev);
+
+    std::map<Tick, std::string> lanes;
+    dev.setTrace([&](Tick at, const Command& c) {
+        if (c.addr.pc != 0)
+            return; // both PCs receive identical commands
+        auto& cell = lanes[at];
+        if (!cell.empty())
+            cell += "+";
+        cell += std::string(cmdName(c.kind)) +
+                (c.kind == CmdKind::Rd || c.kind == CmdKind::Wr
+                     ? strfmt("(bg%d c%d)", c.addr.bg, c.addr.col)
+                     : strfmt("(bg%d)", c.addr.bg));
+    });
+
+    const RowCommand cmd{kind, VbaAddress{0, 0, 42}};
+    const auto res = gen.execute(cmd, 0);
+
+    std::printf("== %s lowering (one PC shown; both PCs in lock-step) ==\n",
+                cmd.str().c_str());
+    Tick prev = -1;
+    int shown = 0;
+    for (const auto& [at, what] : lanes) {
+        if (shown < 10 || what.find("PRE") != std::string::npos ||
+            prev + ticksFromNs(static_cast<std::int64_t>(2)) < at) {
+            std::printf("  t=%6.2f ns  %s\n", nsFromTicks(at), what.c_str());
+        } else if (shown == 10) {
+            std::printf("  ... interleaved %s stream continues every "
+                        "tCCDS ...\n",
+                        kind == RowCmdKind::WrRow ? "WR" : "RD");
+        }
+        prev = at;
+        ++shown;
+    }
+    std::printf("  data on bus: [%.0f, %.0f) ns (%llu bytes)\n",
+                nsFromTicks(res.dataFrom), nsFromTicks(res.dataUntil),
+                static_cast<unsigned long long>(res.bytes));
+    std::printf("  VBA ready:   %.0f ns   commands: %d ACT, %d CAS, %d "
+                "PRE, %d REFpb\n\n",
+                nsFromTicks(res.vbaReadyAt), res.acts, res.cass, res.pres,
+                res.refPbs);
+}
+
+} // namespace
+
+int
+main()
+{
+    dump(RowCmdKind::RdRow);
+    dump(RowCmdKind::WrRow);
+    dump(RowCmdKind::Ref);
+    std::printf("The intentional tRRDS-tCCDS delay before the first ACT\n"
+                "(Fig 9) aligns the two banks' CAS streams at tCCDS.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 10: command issue latency versus the number of C/A pins, with the
+ * 2 × tRRDS bound that a REF following a RD_row/WR_row must meet. Five
+ * pins suffice — eliminating 72 % of the conventional 18 C/A pins.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "dram/hbm4_config.h"
+#include "rome/ca_codec.h"
+
+using namespace rome;
+
+int
+main()
+{
+    const CaCodec codec(hbm4Config().org, VbaDesign::adopted());
+
+    std::printf("Command inventory: %d commands -> %d opcode bits; "
+                "RD_row packet %d bits, REF packet %d bits\n\n",
+                codec.numCommands(), codec.opcodeBits(),
+                codec.rowCommandPacketBits(), codec.refPacketBits());
+
+    Table t("Figure 10 — command issue latency vs C/A pins");
+    t.setHeader({"pins", "RD_row-to-RD_row (ns)", "access-to-REF (ns)",
+                 "bound 2xtRRDS (ns)", "meets bound"});
+    for (int pins = 10; pins >= 4; --pins) {
+        const double bound = codec.latencyBoundNs();
+        const double ref = codec.accessToRefLatencyNs(pins);
+        t.addRow({std::to_string(pins),
+                  Table::num(codec.rowCommandLatencyNs(pins), 0),
+                  Table::num(ref, 0), Table::num(bound, 0),
+                  ref <= bound ? "yes" : "NO"});
+    }
+    t.print();
+
+    std::printf("\nMinimum pins: %d (paper: %d). Pin reduction: %.0f %% "
+                "(paper: 72 %%), 18 -> 5 per channel.\n",
+                codec.minimumPins(), CaCodec::kRomeCaPins,
+                CaCodec::pinReductionFraction() * 100.0);
+    return 0;
+}

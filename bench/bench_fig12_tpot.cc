@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 12: decode TPOT of the HBM4 baseline versus RoMe across batch
+ * sizes (sequence length 8 K), with the attention/FFN breakdown, plus the
+ * §VI-B prefill comparison. The paper reports average TPOT reductions of
+ * 10.4 % (DeepSeek-V3), 10.2 % (Grok 1), and 9.0 % (Llama 3).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace rome;
+using namespace rome::bench;
+
+int
+main()
+{
+    double sum_gain[3] = {0, 0, 0};
+    int n_points[3] = {0, 0, 0};
+    int model_idx = 0;
+    for (const auto& model : evaluatedModels()) {
+        const auto [calib_base, calib_rome] = calibrationFor(model);
+        const auto sys_base =
+            SystemEvalConfig::forSystem(MemorySystem::Hbm4, calib_base);
+        const auto sys_rome =
+            SystemEvalConfig::forSystem(MemorySystem::RoMe, calib_rome);
+        const auto par = paperParallelism(model, Stage::Decode);
+
+        Table t(model.name + " — decode TPOT (seq 8K)");
+        t.setHeader({"batch", "HBM4 (ms)", "attn/FFN (ms)", "RoMe (ms)",
+                     "attn/FFN (ms)", "norm. RoMe", "TPOT cut"});
+        for (const int b : batchSweep(model)) {
+            const Workload wl{Stage::Decode, b, 8192, 1};
+            const auto rb = evaluateStep(model, wl, par, sys_base);
+            const auto rr = evaluateStep(model, wl, par, sys_rome);
+            const double gain = 1.0 - rr.totalMs / rb.totalMs;
+            sum_gain[model_idx] += gain;
+            ++n_points[model_idx];
+            t.addRow({std::to_string(b), Table::num(rb.totalMs, 2),
+                      Table::num(rb.attentionMs, 2) + "/" +
+                          Table::num(rb.ffnMs, 2),
+                      Table::num(rr.totalMs, 2),
+                      Table::num(rr.attentionMs, 2) + "/" +
+                          Table::num(rr.ffnMs, 2),
+                      Table::num(rr.totalMs / rb.totalMs, 3),
+                      Table::percent(gain)});
+        }
+        t.print();
+
+        // §VI-B: prefill is compute-bound and insensitive to the memory
+        // system (paper: within 0.1 %).
+        const auto ppar = paperParallelism(model, Stage::Prefill);
+        const Workload pw{Stage::Prefill, 1, 8192, 1};
+        const auto pb = evaluateStep(model, pw, ppar, sys_base);
+        const auto pr = evaluateStep(model, pw, ppar, sys_rome);
+        std::printf("prefill (1x8K tokens): HBM4 %.2f ms, RoMe %.2f ms "
+                    "(diff %.2f %%, mem-bound fraction %.2f)\n\n",
+                    pb.totalMs, pr.totalMs,
+                    (1.0 - pr.totalMs / pb.totalMs) * 100.0,
+                    pb.memBoundFraction);
+        ++model_idx;
+    }
+
+    std::printf("Average decode TPOT reduction (paper: 10.4 %% / 10.2 %% "
+                "/ 9.0 %%):\n");
+    const char* names[] = {"DeepSeek-V3", "Grok 1", "Llama 3"};
+    for (int i = 0; i < 3; ++i) {
+        std::printf("  %-12s %.1f %%\n", names[i],
+                    sum_gain[i] / n_points[i] * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 13: RoMe's channel load balance rate (LBR) for the attention and
+ * FFN layers across batch sizes, normalized to the HBM4 baseline (whose
+ * LBR is ~1). Values below 1 mean the 4 KB row granularity leaves some
+ * channels more loaded than others; the imbalance shrinks as batches grow
+ * and (for MoE) as more experts activate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/traffic.h"
+
+using namespace rome;
+using namespace rome::bench;
+
+int
+main()
+{
+    const int base_channels = 32 * 8;
+    const int rome_channels = 36 * 8;
+    for (const auto& model : evaluatedModels()) {
+        const auto par = paperParallelism(model, Stage::Decode);
+        Table t(model.name + " — channel load balance rate (seq 8K)");
+        t.setHeader({"batch", "LBR attn (HBM4)", "LBR attn (RoMe)",
+                     "normalized", "LBR FFN (HBM4)", "LBR FFN (RoMe)",
+                     "normalized"});
+        for (const int b : batchSweep(model)) {
+            const auto ops = buildOpGraph(
+                model, Workload{Stage::Decode, b, 8192, 1}, par);
+            const double ab = categoryLbr(ops, OpCategory::Attention,
+                                          base_channels, 256);
+            const double ar = categoryLbr(ops, OpCategory::Attention,
+                                          rome_channels, 4096);
+            const double fb = categoryLbr(ops, OpCategory::Ffn,
+                                          base_channels, 256);
+            const double fr = categoryLbr(ops, OpCategory::Ffn,
+                                          rome_channels, 4096);
+            t.addRow({std::to_string(b), Table::num(ab, 3),
+                      Table::num(ar, 3), Table::num(ar / ab, 3),
+                      Table::num(fb, 3), Table::num(fr, 3),
+                      Table::num(fr / fb, 3)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    std::printf("Expected shapes (paper §VI-B): LBR_attn rises with batch "
+                "as KV extents multiply;\nMoE LBR_FFN improves once all "
+                "experts activate (Grok ~batch 8, DeepSeek ~batch 64);\n"
+                "Llama keeps high LBR_attn from its large hidden "
+                "dimension.\n");
+    return 0;
+}

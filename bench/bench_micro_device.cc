@@ -1,0 +1,76 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: raw command
+ * throughput of the channel device, command-generator lowering, and both
+ * memory controllers end-to-end. Useful for keeping the simulation fast
+ * enough for the GB-scale figure harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/types.h"
+#include "dram/hbm4_config.h"
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+
+using namespace rome;
+using namespace rome::literals;
+
+namespace
+{
+
+void
+BM_DeviceInterleavedReads(benchmark::State& state)
+{
+    const DramConfig cfg = hbm4Config();
+    for (auto _ : state) {
+        ChannelDevice dev(cfg.org, cfg.timing);
+        dev.issue({CmdKind::Act, {0, 0, 0, 0, 1, 0}}, 0);
+        dev.issue({CmdKind::Act, {0, 0, 1, 0, 1, 0}}, 2_ns);
+        Tick when = 30_ns;
+        for (int i = 0; i < 1000; ++i) {
+            Command rd{CmdKind::Rd, {0, 0, i % 2, 0, 1, (i / 2) % 32}};
+            when = dev.earliestIssue(rd, when);
+            dev.issue(rd, when);
+        }
+        benchmark::DoNotOptimize(dev.counters().reads.value());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DeviceInterleavedReads);
+
+void
+BM_ConventionalMcStream(benchmark::State& state)
+{
+    const DramConfig cfg = hbm4Config();
+    for (auto _ : state) {
+        ConventionalMc mc(cfg, bestBaselineMapping(cfg.org), McConfig{});
+        std::uint64_t id = 1;
+        for (std::uint64_t off = 0; off < 256_KiB; off += 4_KiB)
+            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+        mc.drain();
+        benchmark::DoNotOptimize(mc.bytesRead());
+    }
+    state.SetBytesProcessed(state.iterations() * 256_KiB);
+}
+BENCHMARK(BM_ConventionalMcStream);
+
+void
+BM_RomeMcStream(benchmark::State& state)
+{
+    const DramConfig cfg = hbm4Config();
+    for (auto _ : state) {
+        RomeMc mc(cfg, VbaDesign::adopted(), RomeMcConfig{});
+        std::uint64_t id = 1;
+        for (std::uint64_t off = 0; off < 256_KiB; off += 4_KiB)
+            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+        mc.drain();
+        benchmark::DoNotOptimize(mc.bytesRead());
+    }
+    state.SetBytesProcessed(state.iterations() * 256_KiB);
+}
+BENCHMARK(BM_RomeMcStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * §V-A: request-queue depth requirements. The conventional MC needs ~45+
+ * column-granularity entries per PC to overlap tRC across banks (shown
+ * with a random-access stream where every op opens its own row, and a
+ * streaming mix); the RoMe MC saturates with two row-granularity entries.
+ */
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "dram/hbm4_config.h"
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+
+using namespace rome;
+using namespace rome::literals;
+
+namespace
+{
+
+double
+baselineBw(int depth_per_pc, bool random_access)
+{
+    const DramConfig dram = hbm4Config();
+    McConfig cfg;
+    cfg.refreshEnabled = false;
+    cfg.readQueueDepth = depth_per_pc * dram.org.pcsPerChannel;
+    cfg.writeQueueDepth = cfg.readQueueDepth;
+    ConventionalMc mc(dram, bestBaselineMapping(dram.org), cfg);
+    Rng rng(7);
+    if (random_access) {
+        for (std::uint64_t i = 0; i < 30000; ++i) {
+            const std::uint64_t line =
+                rng.below(dram.org.channelCapacity() / 32);
+            mc.enqueue({i + 1, ReqKind::Read, line * 32, 32, 0});
+        }
+    } else {
+        std::uint64_t id = 1;
+        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
+            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+    }
+    mc.drain();
+    return mc.achievedBandwidth();
+}
+
+double
+romeBw(int depth)
+{
+    RomeMcConfig cfg;
+    cfg.refreshEnabled = false;
+    cfg.queueDepth = depth;
+    RomeMc mc(hbm4Config(), VbaDesign::adopted(), cfg);
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
+        mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+    mc.drain();
+    return mc.effectiveBandwidth();
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Conventional MC — bandwidth vs queue depth (per PC)");
+    t.setHeader({"entries/PC", "random 32 B reads (B/ns)",
+                 "streaming 4 KB reads (B/ns)"});
+    for (const int d : {4, 8, 16, 32, 45, 64, 128}) {
+        t.addRow({std::to_string(d), Table::num(baselineBw(d, true), 1),
+                  Table::num(baselineBw(d, false), 1)});
+    }
+    t.print();
+
+    Table r("RoMe MC — bandwidth vs queue depth (row entries)");
+    r.setHeader({"entries", "streaming 4 KB reads (B/ns)"});
+    for (const int d : {1, 2, 4, 8})
+        r.addRow({std::to_string(d), Table::num(romeBw(d), 1)});
+    r.print();
+
+    std::printf("\nThe paper's §V-A claim: the conventional MC needs ~45+ "
+                "entries (tRC/tCCDS > 40x),\nwhile RoMe reaches peak with "
+                "two (tRD_row/tR2RS < 2x).\n");
+    return 0;
+}

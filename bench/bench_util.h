@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: per-model channel
+ * calibration (cached per process) and batch sweeps.
+ */
+
+#ifndef ROME_BENCH_BENCH_UTIL_H
+#define ROME_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "llm/kv_cache.h"
+#include "sim/memsim.h"
+#include "sim/tpot.h"
+
+namespace rome::bench
+{
+
+/** Calibrate (once) both memory systems for @p model. */
+inline std::pair<ChannelCalibration, ChannelCalibration>
+calibrationFor(const LlmConfig& model)
+{
+    static std::map<std::string, std::pair<ChannelCalibration,
+                                           ChannelCalibration>> cache;
+    auto it = cache.find(model.name);
+    if (it != cache.end())
+        return it->second;
+    ChannelWorkloadProfile p = profileFor(model);
+    p.totalBytes = 8ull << 20;
+    auto result = std::make_pair(calibrateChannel(MemorySystem::Hbm4, p),
+                                 calibrateChannel(MemorySystem::RoMe, p));
+    cache.emplace(model.name, result);
+    return result;
+}
+
+/** The paper's power-of-two decode batch sweep for @p model (Fig 12). */
+inline std::vector<int>
+batchSweep(const LlmConfig& model)
+{
+    const int max = maxBatch(model,
+                             paperParallelism(model, Stage::Decode), 8192,
+                             256ull << 30);
+    std::vector<int> batches;
+    for (int b = 8; b <= max; b *= 2)
+        batches.push_back(b);
+    return batches;
+}
+
+} // namespace rome::bench
+
+#endif // ROME_BENCH_BENCH_UTIL_H

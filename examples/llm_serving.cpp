@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LLM-serving walkthrough: pick a model, check how large a batch fits,
+ * and compare decode TPOT and tokens/s on HBM4 versus RoMe.
+ *
+ *   $ ./llm_serving [deepseek|grok|llama] [batch] [seq]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "llm/kv_cache.h"
+#include "sim/memsim.h"
+#include "sim/tpot.h"
+
+using namespace rome;
+
+int
+main(int argc, char** argv)
+{
+    LlmConfig model = deepseekV3();
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "grok"))
+            model = grok1();
+        else if (!std::strcmp(argv[1], "llama"))
+            model = llama3_405b();
+    }
+    const int seq = argc > 3 ? std::atoi(argv[3]) : 8192;
+    const auto par = paperParallelism(model, Stage::Decode);
+    const int max_b = maxBatch(model, par, seq, 256ull << 30);
+    int batch = argc > 2 ? std::atoi(argv[2]) : max_b;
+    if (batch > max_b) {
+        std::printf("batch %d does not fit; clamping to %d\n", batch,
+                    max_b);
+        batch = max_b;
+    }
+
+    std::printf("%s | seq %d | batch %d (capacity limit %d) | "
+                "weights/accel %.1f GB | KV/accel %.1f GB\n\n",
+                model.name.c_str(), seq, batch, max_b,
+                static_cast<double>(weightBytesPerAccelerator(model, par)) /
+                    1e9,
+                static_cast<double>(
+                    kvBytesPerAccelerator(model, par, batch, seq)) / 1e9);
+
+    ChannelWorkloadProfile profile = profileFor(model);
+    profile.totalBytes = 4ull << 20;
+    const Workload wl{Stage::Decode, batch, seq, 1};
+    for (const MemorySystem sys : {MemorySystem::Hbm4, MemorySystem::RoMe}) {
+        const auto calib = calibrateChannel(sys, profile);
+        const auto res = evaluateStep(model, wl,
+                                      par,
+                                      SystemEvalConfig::forSystem(sys,
+                                                                  calib));
+        std::printf("%-5s TPOT %.2f ms  (attn %.2f + ffn %.2f + other "
+                    "%.2f + comm %.2f)  -> %.0f tok/s/system\n",
+                    sys == MemorySystem::Hbm4 ? "HBM4" : "RoMe",
+                    res.totalMs, res.attentionMs, res.ffnMs, res.otherMs,
+                    res.commMs, batch / res.totalMs * 1000.0);
+    }
+    return 0;
+}

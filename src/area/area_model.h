@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Area models for §VI-C: the MC scheduling logic (CAM request queue, bank
+ * FSMs, timing-parameter tracking, arbitration), the command generator on
+ * the logic die, and the µbump/die cost of the four added channels.
+ *
+ * The scheduling-logic coefficients are 7 nm-class (ASAP7 [9]) structure
+ * estimates calibrated so the conventional configuration reproduces the
+ * paper's ratio: the RoMe MC's scheduling logic occupies ~9.1 % of the
+ * conventional MC's.
+ */
+
+#ifndef ROME_AREA_AREA_MODEL_H
+#define ROME_AREA_AREA_MODEL_H
+
+#include "mc/mc.h"
+
+namespace rome
+{
+
+/** Scheduling-logic area model (per channel MC). */
+struct McAreaModel
+{
+    /** CAM cell area per entry bit (µm²). */
+    double camBitUm2 = 0.60;
+    /** Bits per request-queue entry (address + state + age). */
+    int entryBits = 40;
+    /** One bank FSM incl. per-bank timing counters (µm²). */
+    double fsmUm2 = 150.0;
+    /** One global timing-parameter tracker (µm²). */
+    double timingParamUm2 = 30.0;
+    /** Arbitration/selection logic per queue entry (µm²). */
+    double arbiterPerEntryUm2 = 60.0;
+
+    /** Scheduling-logic area of an MC with @p c structures. */
+    double
+    schedulerAreaUm2(const McComplexity& c) const
+    {
+        return static_cast<double>(c.requestQueueDepth) *
+                   (entryBits * camBitUm2 + arbiterPerEntryUm2) +
+               static_cast<double>(c.numBankFsms) * fsmUm2 +
+               static_cast<double>(c.numTimingParams) * timingParamUm2;
+    }
+};
+
+/** Command generator and channel-expansion area (§VI-C). */
+struct HbmAreaModel
+{
+    /** Synthesized command generator area per cube, 7 nm (µm²). */
+    double cmdgenUm2PerCube = 4268.8;
+    /** Logic die area (mm²), HBM3E-class [34]. */
+    double logicDieMm2 = 121.0;
+    /** DRAM die area (mm²). */
+    double dramDieMm2 = 121.0;
+    /** µbump pitch (µm) [62]. */
+    double ubumpPitchUm = 22.0;
+    /** Conservative µbump count scaling (×4 per §VI-C). */
+    double ubumpScale = 4.0;
+    /** Extra TSV µbumps required by the four added channels. */
+    int addedUbumps = 48;
+
+    /** Command generator area as a fraction of the logic die. */
+    double
+    cmdgenLogicDieFraction() const
+    {
+        return cmdgenUm2PerCube / (logicDieMm2 * 1e6);
+    }
+
+    /** Added µbump area for the extra channels (mm²). */
+    double
+    addedUbumpAreaMm2() const
+    {
+        const double per = ubumpPitchUm * ubumpPitchUm * ubumpScale; // µm²
+        return static_cast<double>(addedUbumps) * per * 1e-6 * 1.5;
+    }
+
+    /**
+     * DRAM die growth from hosting one more channel per die (8 → 9,
+     * §IV-E): channel area scales linearly, plus edge margin.
+     */
+    double
+    dramDieGrowthFraction() const
+    {
+        return 1.0 / 8.0 * 0.96; // ~12 %
+    }
+
+    /**
+     * Area overhead beyond the added channels' own useful area — the
+     * paper's headline 0.10 % (µbumps + routing on both dies).
+     */
+    double
+    totalOverheadFraction() const
+    {
+        const double dies = dramDieMm2 * 16 + logicDieMm2; // 16-Hi stack
+        return (addedUbumpAreaMm2() * 17) / dies;
+    }
+};
+
+} // namespace rome
+
+#endif // ROME_AREA_AREA_MODEL_H

@@ -1,0 +1,55 @@
+#include "common/event_queue.h"
+
+#include "common/log.h"
+
+namespace rome
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_) {
+        panic("scheduling event in the past: %lld < %lld",
+              static_cast<long long>(when), static_cast<long long>(now_));
+    }
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return events_.empty() ? kTickMax : events_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (std::function copy is cheap
+    // relative to event work here).
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!events_.empty() && events_.top().when <= until)
+        step();
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+}
+
+} // namespace rome

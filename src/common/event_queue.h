@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal deterministic discrete-event simulation kernel.
+ *
+ * Events are (tick, sequence, callback) tuples ordered by tick then by
+ * insertion sequence, so same-tick events run in schedule order — this keeps
+ * multi-component simulations reproducible.
+ */
+
+#ifndef ROME_COMMON_EVENT_QUEUE_H
+#define ROME_COMMON_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rome
+{
+
+/** Discrete event queue advancing a single simulated clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (must be >= now()). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Time of the next pending event (kTickMax when empty). */
+    Tick nextEventTick() const;
+
+    /**
+     * Run the next event.
+     * @return false when the queue was empty.
+     */
+    bool step();
+
+    /** Run events until the queue drains or time would exceed @p until. */
+    void runUntil(Tick until);
+
+    /** Run all events to completion. */
+    void runAll();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace rome
+
+#endif // ROME_COMMON_EVENT_QUEUE_H

@@ -1,0 +1,114 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rome
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::Warn;
+
+std::string
+vformat(const char* fmt, std::va_list args)
+{
+    std::va_list args2;
+    va_copy(args2, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    if (needed < 0) {
+        va_end(args2);
+        return fmt;
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+void
+emit(std::FILE* stream, const char* prefix, const std::string& msg)
+{
+    std::fprintf(stream, "%s: %s\n", prefix, msg.c_str());
+    std::fflush(stream);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(stderr, "panic", msg);
+    // Throwing instead of abort() lets tests assert on panics; uncaught it
+    // still terminates the process with the message above already printed.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(stderr, "fatal", msg);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(stderr, "warn", msg);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(stdout, "info", msg);
+}
+
+void
+debugLog(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(stdout, "debug", msg);
+}
+
+} // namespace rome

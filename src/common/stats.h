@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, scalar gauges, and
+ * fixed-bucket histograms, grouped into a registry that owning components
+ * expose for reporting.
+ */
+
+#ifndef ROME_COMMON_STATS_H
+#define ROME_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rome
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running scalar statistics (count/sum/min/max/mean) over a stream of
+ * samples; used for latency and queue-occupancy tracking.
+ */
+class Accumulator
+{
+  public:
+    Accumulator() = default;
+
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    void reset() { *this = Accumulator{}; }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    /** Population variance. */
+    double variance() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Histogram over log2-spaced buckets, suitable for size distributions. */
+class Log2Histogram
+{
+  public:
+    /** Record one sample (values < 1 land in bucket 0). */
+    void sample(std::uint64_t v);
+
+    /** Bucket index holding values in [2^i, 2^(i+1)). */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /** Number of populated buckets (highest index + 1). */
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    std::uint64_t totalSamples() const { return total_; }
+
+    /** Smallest / largest recorded sample. */
+    std::uint64_t minSample() const { return total_ ? min_ : 0; }
+    std::uint64_t maxSample() const { return total_ ? max_ : 0; }
+
+    /** p-th percentile (0..100) estimated from bucket boundaries. */
+    double percentile(double p) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics. Components own a StatGroup and register
+ * references to their counters so reporting code can enumerate them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name; the counter must outlive us. */
+    void addCounter(const std::string& stat_name, const Counter* c);
+    void addAccumulator(const std::string& stat_name, const Accumulator* a);
+
+    const std::string& name() const { return name_; }
+
+    /** Snapshot of all registered counters as name → value. */
+    std::map<std::string, std::uint64_t> counterValues() const;
+
+    /** Render a human-readable multi-line report. */
+    std::string report() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter*> counters_;
+    std::map<std::string, const Accumulator*> accumulators_;
+};
+
+} // namespace rome
+
+#endif // ROME_COMMON_STATS_H

@@ -1,0 +1,29 @@
+#include "common/strfmt.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace rome
+{
+
+std::string
+strfmt(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args2;
+    va_copy(args2, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args2);
+        return fmt; // formatting failure: return the raw format string
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+} // namespace rome

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * printf-style std::string formatting (GCC 12 has no <format>; this is the
+ * project-wide replacement). Format strings are compile-time checked through
+ * the printf format attribute.
+ */
+
+#ifndef ROME_COMMON_STRFMT_H
+#define ROME_COMMON_STRFMT_H
+
+#include <string>
+
+namespace rome
+{
+
+/** Format like printf into a std::string. */
+std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rome
+
+#endif // ROME_COMMON_STRFMT_H

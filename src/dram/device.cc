@@ -1,0 +1,342 @@
+#include "dram/device.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+using namespace rome::literals;
+
+namespace
+{
+
+/** One command-bus slot is one nanosecond (1 GHz command clock). */
+constexpr Tick kCmdSlot = kTicksPerNs;
+
+Tick
+maxTick(Tick a, Tick b)
+{
+    return a > b ? a : b;
+}
+
+} // namespace
+
+ChannelDevice::ChannelDevice(const Organization& org,
+                             const TimingParams& timing)
+    : org_(org), t_(timing)
+{
+    banks_.resize(static_cast<std::size_t>(org_.banksPerChannel()));
+    sids_.resize(static_cast<std::size_t>(org_.pcsPerChannel *
+                                          org_.sidsPerChannel));
+    for (auto& s : sids_) {
+        s.lastActPerBg.assign(
+            static_cast<std::size_t>(org_.bankGroupsPerSid), kTickInvalid);
+        s.actWindow.assign(4, kTickInvalid);
+    }
+    pcs_.reserve(static_cast<std::size_t>(org_.pcsPerChannel));
+    for (int i = 0; i < org_.pcsPerChannel; ++i)
+        pcs_.emplace_back(kCmdSlot);
+}
+
+BankRecord&
+ChannelDevice::bank(const DramAddress& a)
+{
+    return banks_[static_cast<std::size_t>(flatBankIndex(org_, a))];
+}
+
+const BankRecord&
+ChannelDevice::bank(const DramAddress& a) const
+{
+    return banks_[static_cast<std::size_t>(flatBankIndex(org_, a))];
+}
+
+ChannelDevice::SidRecord&
+ChannelDevice::sidRec(int pc, int sid)
+{
+    return sids_[static_cast<std::size_t>(pc * org_.sidsPerChannel + sid)];
+}
+
+const ChannelDevice::SidRecord&
+ChannelDevice::sidRec(int pc, int sid) const
+{
+    return sids_[static_cast<std::size_t>(pc * org_.sidsPerChannel + sid)];
+}
+
+Tick
+ChannelDevice::earliestAct(const DramAddress& a, Tick t0) const
+{
+    const BankRecord& b = bank(a);
+    if (b.open())
+        return kTickMax; // must precharge first
+    const SidRecord& s = sidRec(a.pc, a.sid);
+
+    Tick t = t0;
+    if (b.lastPre != kTickInvalid)
+        t = maxTick(t, b.lastPre + t_.tRP);
+    if (b.lastAct != kTickInvalid)
+        t = maxTick(t, b.lastAct + t_.tRC);
+    if (b.refUntil != kTickInvalid)
+        t = maxTick(t, b.refUntil);
+    if (s.refAbUntil != kTickInvalid)
+        t = maxTick(t, s.refAbUntil);
+    if (s.lastActPerBg[static_cast<std::size_t>(a.bg)] != kTickInvalid) {
+        t = maxTick(t, s.lastActPerBg[static_cast<std::size_t>(a.bg)] +
+                    t_.tRRDL);
+    }
+    if (s.lastAct != kTickInvalid)
+        t = maxTick(t, s.lastAct + t_.tRRDS);
+    // tFAW: the fourth-to-last ACT bounds the next one.
+    const Tick oldest = s.actWindow[s.actWindowHead];
+    if (oldest != kTickInvalid)
+        t = maxTick(t, oldest + t_.tFAW);
+    return pcs_[static_cast<std::size_t>(a.pc)].rowBus.nextFree(t);
+}
+
+Tick
+ChannelDevice::earliestPre(const DramAddress& a, Tick t0) const
+{
+    const BankRecord& b = bank(a);
+    if (!b.open())
+        return kTickMax;
+    Tick t = t0;
+    if (b.lastAct != kTickInvalid)
+        t = maxTick(t, b.lastAct + t_.tRAS);
+    if (b.lastCas != kTickInvalid) {
+        if (b.lastCasWasWrite)
+            t = maxTick(t, b.lastCas + t_.tWR);
+        else
+            t = maxTick(t, b.lastCas + t_.tRTP);
+    }
+    return pcs_[static_cast<std::size_t>(a.pc)].rowBus.nextFree(t);
+}
+
+Tick
+ChannelDevice::earliestCas(const DramAddress& a, bool is_write, Tick t0) const
+{
+    const BankRecord& b = bank(a);
+    if (!b.open() || b.openRow != a.row)
+        return kTickMax; // row must be open (the MC handles ACT/PRE)
+    const PcRecord& pc = pcs_[static_cast<std::size_t>(a.pc)];
+
+    Tick t = t0;
+    if (b.lastAct != kTickInvalid)
+        t = maxTick(t, b.lastAct + (is_write ? t_.tRCDWR : t_.tRCDRD));
+    if (pc.lastCas != kTickInvalid) {
+        // CAS-to-CAS spacing on the shared PC data path.
+        Tick gap = t_.tCCDS;
+        if (pc.lastCasSid != a.sid)
+            gap = t_.tCCDR;
+        else if (pc.lastCasBg == a.bg)
+            gap = t_.tCCDL;
+        t = maxTick(t, pc.lastCas + gap);
+        // Bus-direction turnarounds (command-level).
+        if (!pc.lastCasWasWrite && is_write)
+            t = maxTick(t, pc.lastCas + t_.tRTW);
+        if (pc.lastCasWasWrite && !is_write) {
+            const Tick wtr = (pc.lastCasBg == a.bg) ? t_.tWTRL : t_.tWTRS;
+            t = maxTick(t, pc.lastCas + wtr);
+        }
+    }
+    return pc.colBus.nextFree(t);
+}
+
+Tick
+ChannelDevice::earliestRefPb(const DramAddress& a, Tick t0) const
+{
+    const BankRecord& b = bank(a);
+    if (b.open())
+        return kTickMax; // REFpb requires a precharged bank
+    const SidRecord& s = sidRec(a.pc, a.sid);
+
+    Tick t = t0;
+    if (b.lastPre != kTickInvalid)
+        t = maxTick(t, b.lastPre + t_.tRP);
+    if (b.refUntil != kTickInvalid)
+        t = maxTick(t, b.refUntil);
+    if (s.refAbUntil != kTickInvalid)
+        t = maxTick(t, s.refAbUntil);
+    if (s.lastRefPb != kTickInvalid)
+        t = maxTick(t, s.lastRefPb + t_.tRREFD);
+    return pcs_[static_cast<std::size_t>(a.pc)].rowBus.nextFree(t);
+}
+
+Tick
+ChannelDevice::earliestRefAb(const DramAddress& a, Tick t0) const
+{
+    // Every bank in the (PC, SID) must be idle.
+    Tick t = t0;
+    for (int bg = 0; bg < org_.bankGroupsPerSid; ++bg) {
+        for (int ba = 0; ba < org_.banksPerGroup; ++ba) {
+            DramAddress ba_addr = a;
+            ba_addr.bg = bg;
+            ba_addr.bank = ba;
+            const BankRecord& b = bank(ba_addr);
+            if (b.open())
+                return kTickMax;
+            if (b.lastPre != kTickInvalid)
+                t = maxTick(t, b.lastPre + t_.tRP);
+            if (b.refUntil != kTickInvalid)
+                t = maxTick(t, b.refUntil);
+        }
+    }
+    const SidRecord& s = sidRec(a.pc, a.sid);
+    if (s.refAbUntil != kTickInvalid)
+        t = maxTick(t, s.refAbUntil);
+    if (s.lastRefPb != kTickInvalid)
+        t = maxTick(t, s.lastRefPb + t_.tRREFD);
+    return pcs_[static_cast<std::size_t>(a.pc)].rowBus.nextFree(t);
+}
+
+Tick
+ChannelDevice::earliestIssue(const Command& cmd, Tick not_before) const
+{
+    checkAddress(org_, cmd.addr);
+    switch (cmd.kind) {
+      case CmdKind::Act:
+        return earliestAct(cmd.addr, not_before);
+      case CmdKind::Pre:
+        return earliestPre(cmd.addr, not_before);
+      case CmdKind::Rd:
+        return earliestCas(cmd.addr, false, not_before);
+      case CmdKind::Wr:
+        return earliestCas(cmd.addr, true, not_before);
+      case CmdKind::RefPb:
+        return earliestRefPb(cmd.addr, not_before);
+      case CmdKind::RefAb:
+        return earliestRefAb(cmd.addr, not_before);
+      default:
+        panic("unknown command kind");
+    }
+}
+
+ChannelDevice::IssueResult
+ChannelDevice::issue(const Command& cmd, Tick when)
+{
+    const Tick earliest = earliestIssue(cmd, when);
+    if (earliest == kTickMax || earliest > when) {
+        panic("illegal %s at %lld ns (earliest legal: %s)",
+              cmd.str().c_str(),
+              static_cast<long long>(when / kTicksPerNs),
+              earliest == kTickMax
+                  ? "never (wrong bank state)"
+                  : strfmt("%lld ns",
+                           static_cast<long long>(earliest / kTicksPerNs))
+                        .c_str());
+    }
+
+    BankRecord& b = bank(cmd.addr);
+    SidRecord& s = sidRec(cmd.addr.pc, cmd.addr.sid);
+    PcRecord& pc = pcs_[static_cast<std::size_t>(cmd.addr.pc)];
+    IssueResult res;
+
+    switch (cmd.kind) {
+      case CmdKind::Act:
+        b.lastAct = when;
+        b.openRow = cmd.addr.row;
+        s.lastActPerBg[static_cast<std::size_t>(cmd.addr.bg)] = when;
+        s.lastAct = when;
+        s.actWindow[s.actWindowHead] = when;
+        s.actWindowHead = (s.actWindowHead + 1) % s.actWindow.size();
+        pc.rowBus.reserve(when);
+        counters_.acts.inc();
+        counters_.rowCmds.inc();
+        res.bankReadyAt = when + std::min(t_.tRCDRD, t_.tRCDWR);
+        break;
+
+      case CmdKind::Pre:
+        b.lastPre = when;
+        b.openRow = -1;
+        pc.rowBus.reserve(when);
+        counters_.pres.inc();
+        counters_.rowCmds.inc();
+        res.bankReadyAt = when + t_.tRP;
+        break;
+
+      case CmdKind::Rd:
+      case CmdKind::Wr: {
+        const bool is_write = cmd.kind == CmdKind::Wr;
+        b.lastCas = when;
+        b.lastCasWasWrite = is_write;
+        pc.lastCas = when;
+        pc.lastCasSid = cmd.addr.sid;
+        pc.lastCasBg = cmd.addr.bg;
+        pc.lastCasWasWrite = is_write;
+        const Tick data_from = when + (is_write ? t_.tWL : t_.tCL);
+        const Tick data_until = data_from + t_.tBURST;
+        if (is_write) {
+            pc.lastWrDataEnd = data_until;
+            counters_.writes.inc();
+        } else {
+            counters_.reads.inc();
+        }
+        pc.busBusyUntil = data_until;
+        lastDataEnd_ = maxTick(lastDataEnd_, data_until);
+        pc.colBus.reserve(when);
+        counters_.colCmds.inc();
+        counters_.dataBusBusyTicks.inc(static_cast<std::uint64_t>(t_.tBURST));
+        counters_.dataBytes.inc(org_.columnBytes);
+        res.dataFrom = data_from;
+        res.dataUntil = data_until;
+        res.bankReadyAt = data_until;
+        break;
+      }
+
+      case CmdKind::RefPb:
+        b.refUntil = when + t_.tRFCpb;
+        s.lastRefPb = when;
+        pc.rowBus.reserve(when);
+        counters_.refPbs.inc();
+        counters_.rowCmds.inc();
+        res.bankReadyAt = b.refUntil;
+        break;
+
+      case CmdKind::RefAb: {
+        for (int bg = 0; bg < org_.bankGroupsPerSid; ++bg) {
+            for (int ba = 0; ba < org_.banksPerGroup; ++ba) {
+                DramAddress a = cmd.addr;
+                a.bg = bg;
+                a.bank = ba;
+                bank(a).refUntil = when + t_.tRFCab;
+            }
+        }
+        s.refAbUntil = when + t_.tRFCab;
+        pc.rowBus.reserve(when);
+        counters_.refAbs.inc();
+        counters_.rowCmds.inc();
+        res.bankReadyAt = when + t_.tRFCab;
+        break;
+      }
+
+      default:
+        panic("unknown command kind");
+    }
+
+    if (trace_)
+        trace_(when, cmd);
+    return res;
+}
+
+BankState
+ChannelDevice::bankState(const DramAddress& a, Tick now) const
+{
+    const SidRecord& s = sidRec(a.pc, a.sid);
+    if (s.refAbUntil != kTickInvalid && now < s.refAbUntil)
+        return BankState::Refreshing;
+    return bank(a).stateAt(now, t_);
+}
+
+int
+ChannelDevice::openRow(const DramAddress& a) const
+{
+    return bank(a).openRow;
+}
+
+const BankRecord&
+ChannelDevice::bankRecord(const DramAddress& a) const
+{
+    return bank(a);
+}
+
+} // namespace rome

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Timing-enforcing model of one HBM channel.
+ *
+ * The device is passive: a memory controller (or the RoMe command generator)
+ * asks when a command may issue (earliestIssue) and then commits it (issue).
+ * Every commit is re-validated against the full conventional timing rule set
+ * — including commands produced by the RoMe command generator, which is how
+ * the tests prove the generator's fixed sequences are timing-legal.
+ *
+ * Modeled constraints:
+ *  - bank core timings: tRC, tRAS, tRP, tRCDRD/WR, tRTP, write recovery
+ *  - ACT-to-ACT: tRRDL / tRRDS and the tFAW window per (PC, SID)
+ *  - CAS-to-CAS: tCCDL (same BG), tCCDS (diff BG), tCCDR (diff SID)
+ *  - bus turnaround: tRTW and derived WR→RD gaps
+ *  - refresh: tRFCab / tRFCpb busy windows, tRREFD spacing
+ *  - command bus: one row command and one column command per ns per channel
+ *    (both PCs share the C/A pins)
+ */
+
+#ifndef ROME_DRAM_DEVICE_H
+#define ROME_DRAM_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/bank.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+
+namespace rome
+{
+
+/** Event counters a channel accumulates (consumed by the energy model). */
+struct DeviceCounters
+{
+    Counter acts;
+    Counter pres;
+    Counter reads;
+    Counter writes;
+    Counter refAbs;
+    Counter refPbs;
+    /** Ticks any PC's data bus carried data (summed over PCs). */
+    Counter dataBusBusyTicks;
+    /** Bytes moved over the channel data pins. */
+    Counter dataBytes;
+    /** Commands sent over the row / column C/A pins. */
+    Counter rowCmds;
+    Counter colCmds;
+};
+
+/** One HBM channel with full conventional timing enforcement. */
+class ChannelDevice
+{
+  public:
+    ChannelDevice(const Organization& org, const TimingParams& timing);
+
+    const Organization& organization() const { return org_; }
+    const TimingParams& timing() const { return t_; }
+
+    /**
+     * Earliest tick >= @p not_before at which @p cmd satisfies every timing
+     * constraint. Returns kTickMax if the command is structurally illegal in
+     * the current state (e.g. ACT to an open bank).
+     */
+    Tick earliestIssue(const Command& cmd, Tick not_before) const;
+
+    /** Result of committing a command. */
+    struct IssueResult
+    {
+        /** When the bank returns to a schedulable state. */
+        Tick bankReadyAt = 0;
+        /** Data occupies the PC bus in [dataFrom, dataUntil); 0/0 if none. */
+        Tick dataFrom = 0;
+        Tick dataUntil = 0;
+    };
+
+    /**
+     * Commit @p cmd at @p when. Panics when any constraint is violated —
+     * callers must consult earliestIssue first.
+     */
+    IssueResult issue(const Command& cmd, Tick when);
+
+    /** Observable state of the addressed bank at @p now. */
+    BankState bankState(const DramAddress& a, Tick now) const;
+
+    /** Open row of the addressed bank (-1 when closed). */
+    int openRow(const DramAddress& a) const;
+
+    /** Raw record access for schedulers that inspect timestamps. */
+    const BankRecord& bankRecord(const DramAddress& a) const;
+
+    /** Tick at which the last issued command's data transfer finishes. */
+    Tick lastDataEnd() const { return lastDataEnd_; }
+
+    const DeviceCounters& counters() const { return counters_; }
+
+    /** Install a trace callback invoked on every committed command. */
+    void
+    setTrace(std::function<void(Tick, const Command&)> cb)
+    {
+        trace_ = std::move(cb);
+    }
+
+  private:
+    /** Tracking shared by the banks of one (PC, SID). */
+    struct SidRecord
+    {
+        /** Last ACT per bank group (tRRDL). */
+        std::vector<Tick> lastActPerBg;
+        /** Last ACT anywhere in the (PC, SID) (tRRDS). */
+        Tick lastAct = kTickInvalid;
+        /** Ring of the last four ACT times (tFAW). */
+        std::vector<Tick> actWindow;
+        std::size_t actWindowHead = 0;
+        /** Last per-bank refresh issue (tRREFD). */
+        Tick lastRefPb = kTickInvalid;
+        /** Completion of the last all-bank refresh. */
+        Tick refAbUntil = kTickInvalid;
+    };
+
+    /**
+     * Occupied command-bus slots (one per ns). A calendar rather than a
+     * high-water mark: the RoMe command generator lowers whole row
+     * operations at once, so a later operation may legally claim an earlier
+     * free slot between commands that were already committed.
+     */
+    class SlotCalendar
+    {
+      public:
+        explicit SlotCalendar(Tick width) : width_(width) {}
+
+        /** First tick >= @p t whose [t, t+width) window is free. */
+        Tick
+        nextFree(Tick t) const
+        {
+            Tick cand = t;
+            auto it = occupied_.lower_bound(cand - width_ + 1);
+            while (it != occupied_.end() && *it < cand + width_) {
+                cand = std::max(cand, *it + width_);
+                ++it;
+            }
+            return cand;
+        }
+
+        /** Mark [at, at+width) busy. */
+        void
+        reserve(Tick at)
+        {
+            occupied_.insert(at);
+            // Bound memory: issue times are near-monotone, so very old
+            // slots can never conflict again.
+            while (occupied_.size() > 8192 &&
+                   *occupied_.begin() + 16384 * width_ < at) {
+                occupied_.erase(occupied_.begin());
+            }
+        }
+
+      private:
+        Tick width_;
+        std::set<Tick> occupied_;
+    };
+
+    /** Tracking shared by one PC (CAS stream, data bus, command slots). */
+    struct PcRecord
+    {
+        explicit PcRecord(Tick slot_width)
+            : rowBus(slot_width), colBus(slot_width)
+        {}
+
+        Tick lastCas = kTickInvalid;
+        int lastCasSid = -1;
+        int lastCasBg = -1;
+        bool lastCasWasWrite = false;
+        /** End of the last write burst (WR→RD turnaround reference). */
+        Tick lastWrDataEnd = kTickInvalid;
+        /** End of the last data transfer on this PC. */
+        Tick busBusyUntil = 0;
+        /**
+         * Command slots per PC. The C/A pins are shared by the two PCs of a
+         * channel but are fast enough to issue RD/WR to both PCs every
+         * tCCDS and ACTs every tRRDS (§IV-D): one slot per ns per PC.
+         */
+        SlotCalendar rowBus;
+        SlotCalendar colBus;
+    };
+
+    BankRecord& bank(const DramAddress& a);
+    const BankRecord& bank(const DramAddress& a) const;
+    SidRecord& sidRec(int pc, int sid);
+    const SidRecord& sidRec(int pc, int sid) const;
+
+    Tick earliestAct(const DramAddress& a, Tick t0) const;
+    Tick earliestPre(const DramAddress& a, Tick t0) const;
+    Tick earliestCas(const DramAddress& a, bool is_write, Tick t0) const;
+    Tick earliestRefPb(const DramAddress& a, Tick t0) const;
+    Tick earliestRefAb(const DramAddress& a, Tick t0) const;
+
+    Organization org_;
+    TimingParams t_;
+    std::vector<BankRecord> banks_;
+    std::vector<SidRecord> sids_;
+    std::vector<PcRecord> pcs_;
+    Tick lastDataEnd_ = 0;
+    DeviceCounters counters_;
+    std::function<void(Tick, const Command&)> trace_;
+};
+
+} // namespace rome
+
+#endif // ROME_DRAM_DEVICE_H

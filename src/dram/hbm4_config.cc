@@ -1,0 +1,24 @@
+#include "dram/hbm4_config.h"
+
+namespace rome
+{
+
+DramConfig
+hbm4Config()
+{
+    DramConfig c;
+    c.org.channelsPerCube = 32;
+    c.org.pcsPerChannel = 2;
+    c.org.sidsPerChannel = 4;
+    c.org.bankGroupsPerSid = 4;
+    c.org.banksPerGroup = 4;
+    c.org.rowsPerBank = 8192;
+    c.org.rowBytes = 1024;
+    c.org.columnBytes = 32;
+    c.org.dqPinsPerPc = 32;
+    c.org.dataRateGbps = 8.0;
+    c.timing = hbm4Timing();
+    return c;
+}
+
+} // namespace rome

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Canonical HBM4 device configuration used throughout the evaluation
+ * (Table V, left column): 32 channels per cube, 2 PCs per channel, 4 SIDs,
+ * 128 banks per channel, 1 KB rows, 8 Gb/s pins, 2 TB/s per cube.
+ */
+
+#ifndef ROME_DRAM_HBM4_CONFIG_H
+#define ROME_DRAM_HBM4_CONFIG_H
+
+#include "dram/address.h"
+#include "dram/timing.h"
+
+namespace rome
+{
+
+/** Full device configuration: organization + timing. */
+struct DramConfig
+{
+    Organization org;
+    TimingParams timing;
+};
+
+/** The paper's HBM4 baseline (Table V). */
+DramConfig hbm4Config();
+
+} // namespace rome
+
+#endif // ROME_DRAM_HBM4_CONFIG_H

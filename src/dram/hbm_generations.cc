@@ -1,0 +1,23 @@
+#include "dram/hbm_generations.h"
+
+#include <algorithm>
+
+namespace rome
+{
+
+const std::vector<HbmGeneration>&
+hbmGenerations()
+{
+    // name, data rate, core MHz, ch width, channels, PCs, C/A pins per ch.
+    static const std::vector<HbmGeneration> gens = {
+        {"HBM1", 1.0, 250, 128, 8, 1, 14},
+        {"HBM2", 2.4, 300, 128, 8, 2, 14},
+        {"HBM2E", 3.6, 450, 128, 8, 2, 14},
+        {"HBM3", 6.4, 400, 64, 16, 2, 14},
+        {"HBM3E", 9.6, 600, 64, 16, 2, 14},
+        {"HBM4", 8.0, 500, 64, 32, 2, 18},
+    };
+    return gens;
+}
+
+} // namespace rome

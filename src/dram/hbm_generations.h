@@ -1,0 +1,83 @@
+/**
+ * @file
+ * HBM generation parameters used by the Figure 2 trend analysis: data rate,
+ * core frequency, channel width/count, and C/A pin budget per generation.
+ *
+ * Values follow the JEDEC standards and ISSCC device papers the paper cites
+ * ([8], [22], [24], [25], [27], [33], [34], [56]); where a generation spans
+ * speed grades we use the flagship bin. C/A bandwidth is the aggregate
+ * command bandwidth of one cube assuming DDR C/A signaling at half the data
+ * rate capped at 2 Gb/s per pin, matching the trend the figure reports.
+ */
+
+#ifndef ROME_DRAM_HBM_GENERATIONS_H
+#define ROME_DRAM_HBM_GENERATIONS_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace rome
+{
+
+/** One HBM generation's interface parameters. */
+struct HbmGeneration
+{
+    std::string name;
+    double dataRateGbps;   ///< Per-pin data rate.
+    double coreFreqMhz;    ///< DRAM core (bank) frequency.
+    int channelWidthBits;  ///< DQ width of one channel.
+    int channelsPerCube;   ///< Channels per cube.
+    int pcsPerChannel;     ///< Pseudo channels per channel.
+    int caPinsPerChannel;  ///< Row + column C/A pins per channel.
+
+    /** Total DQ pins of one cube. */
+    int
+    dqPins() const
+    {
+        return channelWidthBits * channelsPerCube;
+    }
+
+    /** Total C/A pins of one cube. */
+    int
+    caPins() const
+    {
+        return caPinsPerChannel * channelsPerCube;
+    }
+
+    /** C/A-to-DQ pin ratio (Fig 2(b) left axis). */
+    double
+    caPerDqRatio() const
+    {
+        return static_cast<double>(caPins()) /
+               static_cast<double>(dqPins());
+    }
+
+    /** Aggregate data bandwidth of one cube in GB/s. */
+    double
+    dataBandwidthGBs() const
+    {
+        return static_cast<double>(dqPins()) * dataRateGbps / 8.0;
+    }
+
+    /** Per-pin C/A signaling rate in Gb/s. */
+    double
+    caRateGbps() const
+    {
+        return std::min(2.0, dataRateGbps / 2.0);
+    }
+
+    /** Aggregate C/A bandwidth of one cube in GB/s (Fig 2(b) right axis). */
+    double
+    caBandwidthGBs() const
+    {
+        return static_cast<double>(caPins()) * caRateGbps() / 8.0;
+    }
+};
+
+/** HBM1 → HBM4 in generation order (Figure 2). */
+const std::vector<HbmGeneration>& hbmGenerations();
+
+} // namespace rome
+
+#endif // ROME_DRAM_HBM_GENERATIONS_H

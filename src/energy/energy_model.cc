@@ -1,0 +1,28 @@
+#include "energy/energy_model.h"
+
+namespace rome
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyParams& p, MemorySystem sys,
+              const ChannelCalibration& calib, std::uint64_t bytes)
+{
+    EnergyBreakdown e;
+    const double kib = static_cast<double>(bytes) / 1024.0;
+    const double bits = static_cast<double>(bytes) * 8.0 *
+                        (1.0 + calib.overfetchFraction);
+
+    e.actJ = calib.actsPerKib * kib * p.actNj * 1e-9;
+    e.arrayJ = bits * p.arrayPjPerBit * 1e-12;
+    e.onDieJ = bits * p.onDiePjPerBit * 1e-12;
+    e.ioJ = static_cast<double>(bytes) * 8.0 * p.ioPjPerBit * 1e-12;
+    e.caJ = calib.interfaceCmdsPerKib * kib * p.caPjPerCmd * 1e-12;
+    e.refreshJ = calib.refreshPerKib * kib * p.refreshNjPerRefpb * 1e-9;
+    if (sys == MemorySystem::RoMe) {
+        e.cmdgenJ = calib.interfaceCmdsPerKib * kib *
+                    p.cmdgenPjPerRowCmd * 1e-12;
+    }
+    return e;
+}
+
+} // namespace rome

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DRAM + interface energy model (Figure 14).
+ *
+ * Coefficients follow the fine-grained-DRAM literature the paper builds on
+ * ([2], [51]): a ~0.9 nJ activation per 1 KB row, pJ/bit costs for the
+ * array access, on-die data movement, and the TSV/interposer/PHY hop, plus
+ * per-command C/A interface energy and the RoMe command generator's
+ * per-row-command cost (negligible by design, §VI-C). The counts come from
+ * the channel calibration (activations per KiB, interface commands per
+ * KiB) applied to the workload's total traffic.
+ */
+
+#ifndef ROME_ENERGY_ENERGY_MODEL_H
+#define ROME_ENERGY_ENERGY_MODEL_H
+
+#include <cstdint>
+
+#include "sim/memsim.h"
+
+namespace rome
+{
+
+/** Energy coefficients (7 nm logic + HBM-class DRAM). */
+struct EnergyParams
+{
+    /** One 1 KB row activation + precharge (nJ) [51]. */
+    double actNj = 0.909;
+    /** Bank array read/write (pJ/bit). */
+    double arrayPjPerBit = 2.2;
+    /** BK-BUS/BG-BUS/GBUS movement inside the die (pJ/bit). */
+    double onDiePjPerBit = 0.6;
+    /** TSV + interposer + PHY per data bit (pJ/bit). */
+    double ioPjPerBit = 1.5;
+    /** C/A interface energy per command crossing MC↔HBM (pJ). */
+    double caPjPerCmd = 8.0;
+    /** One per-bank refresh (nJ). */
+    double refreshNjPerRefpb = 1.9;
+    /** Command generator energy per accepted row command (pJ). */
+    double cmdgenPjPerRowCmd = 8.0;
+};
+
+/** Per-component energy of one evaluation (joules). */
+struct EnergyBreakdown
+{
+    double actJ = 0.0;
+    double arrayJ = 0.0;
+    double onDieJ = 0.0;
+    double ioJ = 0.0;
+    double caJ = 0.0;
+    double refreshJ = 0.0;
+    double cmdgenJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return actJ + arrayJ + onDieJ + ioJ + caJ + refreshJ + cmdgenJ;
+    }
+};
+
+/**
+ * Energy of moving @p bytes through a memory system whose per-KiB command
+ * rates were measured by calibrateChannel().
+ */
+EnergyBreakdown computeEnergy(const EnergyParams& params,
+                              MemorySystem sys,
+                              const ChannelCalibration& calib,
+                              std::uint64_t bytes);
+
+} // namespace rome
+
+#endif // ROME_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,83 @@
+#include "llm/kv_cache.h"
+
+namespace rome
+{
+
+std::uint64_t
+kvBytesPerSequence(const LlmConfig& model, int seq_len)
+{
+    return model.kvBytesPerTokenPerLayer() *
+           static_cast<std::uint64_t>(model.numLayers) *
+           static_cast<std::uint64_t>(seq_len);
+}
+
+std::uint64_t
+weightBytesPerAccelerator(const LlmConfig& model, const Parallelism& par)
+{
+    const auto b = static_cast<std::uint64_t>(model.bytesPerParam);
+    std::uint64_t bytes = 0;
+    for (int l = 0; l < model.numLayers; ++l) {
+        // Attention weights shard by TP (replicated when DP).
+        bytes += model.attentionParamsPerLayer() * b /
+                 static_cast<std::uint64_t>(par.tpAttention);
+        if (model.layerIsMoe(l) && par.expertParallel) {
+            // Routed experts partition across accelerators; shared experts
+            // and the router replicate.
+            const auto& m = *model.moe;
+            const auto expert = 3ULL *
+                static_cast<std::uint64_t>(model.dModel) *
+                static_cast<std::uint64_t>(m.moeIntermediate);
+            const auto routed = expert *
+                static_cast<std::uint64_t>(m.numRoutedExperts) /
+                static_cast<std::uint64_t>(par.numAccelerators);
+            const auto shared = expert *
+                static_cast<std::uint64_t>(m.numSharedExperts);
+            const auto router = static_cast<std::uint64_t>(model.dModel) *
+                static_cast<std::uint64_t>(m.numRoutedExperts);
+            bytes += (routed + shared + router) * b;
+        } else {
+            bytes += model.ffnParamsPerLayer(l) * b /
+                     static_cast<std::uint64_t>(par.tpFfn);
+        }
+    }
+    // Embedding + LM head shard by the FFN TP degree.
+    bytes += 2ULL * static_cast<std::uint64_t>(model.vocabSize) *
+             static_cast<std::uint64_t>(model.dModel) * b /
+             static_cast<std::uint64_t>(par.tpFfn);
+    return bytes;
+}
+
+std::uint64_t
+kvBytesPerAccelerator(const LlmConfig& model, const Parallelism& par,
+                      int batch, int seq_len)
+{
+    const std::uint64_t per_seq = kvBytesPerSequence(model, seq_len);
+    if (par.tpAttention == 1) {
+        // Data parallel: each accelerator holds its share of the batch.
+        const int local = par.localBatchAttention(batch);
+        return per_seq * static_cast<std::uint64_t>(local);
+    }
+    // TP: KV heads shard across the TP group.
+    return per_seq * static_cast<std::uint64_t>(batch) /
+           static_cast<std::uint64_t>(par.tpAttention);
+}
+
+int
+maxBatch(const LlmConfig& model, const Parallelism& par, int seq_len,
+         std::uint64_t capacity)
+{
+    const std::uint64_t weights = weightBytesPerAccelerator(model, par);
+    if (weights >= capacity)
+        return 0;
+    int best = 0;
+    for (int b = 1; b <= (1 << 20); b *= 2) {
+        if (weights + kvBytesPerAccelerator(model, par, b, seq_len) >
+            capacity) {
+            break;
+        }
+        best = b;
+    }
+    return best;
+}
+
+} // namespace rome

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * KV-cache sizing and accelerator memory-capacity accounting. Reproduces
+ * the paper's maximum batch sizes (DeepSeek-V3 1024, Grok 1 512, Llama 3
+ * 256 at sequence length 8 K on 8 × 256 GB accelerators).
+ */
+
+#ifndef ROME_LLM_KV_CACHE_H
+#define ROME_LLM_KV_CACHE_H
+
+#include <cstdint>
+
+#include "llm/model_config.h"
+#include "llm/parallelism.h"
+
+namespace rome
+{
+
+/** KV-cache bytes of one sequence of @p seq_len tokens (whole model). */
+std::uint64_t kvBytesPerSequence(const LlmConfig& model, int seq_len);
+
+/** Weight bytes resident on one accelerator under @p par. */
+std::uint64_t weightBytesPerAccelerator(const LlmConfig& model,
+                                        const Parallelism& par);
+
+/** KV bytes resident on one accelerator for a global @p batch. */
+std::uint64_t kvBytesPerAccelerator(const LlmConfig& model,
+                                    const Parallelism& par, int batch,
+                                    int seq_len);
+
+/**
+ * Largest power-of-two batch whose weights + KV fit @p capacity bytes per
+ * accelerator (the paper sweeps power-of-two batches, Fig 12).
+ */
+int maxBatch(const LlmConfig& model, const Parallelism& par, int seq_len,
+             std::uint64_t capacity);
+
+} // namespace rome
+
+#endif // ROME_LLM_KV_CACHE_H

@@ -1,0 +1,350 @@
+#include "llm/layer_graph.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+namespace
+{
+
+using U64 = std::uint64_t;
+
+/** Builder helper collecting the op list for one evaluation point. */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(const LlmConfig& model, const Workload& wl,
+                 const Parallelism& par)
+        : m_(model), wl_(wl), par_(par), rng_(wl.seed),
+          bytes_(static_cast<U64>(model.bytesPerParam)),
+          kvBytes_(static_cast<U64>(model.kvBytesPerElement))
+    {
+        // Tokens entering every layer, per accelerator.
+        if (wl_.stage == Stage::Decode) {
+            attnTokens_ = par_.tpAttention == 1
+                ? wl_.batch / par_.numAccelerators : wl_.batch;
+            ffnTokens_ = wl_.batch; // EP/TP shard work, tokens stay global
+        } else {
+            attnTokens_ = static_cast<U64>(wl_.batch) *
+                          static_cast<U64>(wl_.seqLen);
+            ffnTokens_ = attnTokens_;
+        }
+    }
+
+    std::vector<LlmOp>
+    build()
+    {
+        embedding();
+        for (int l = 0; l < m_.numLayers; ++l) {
+            attention(l);
+            ffn(l);
+        }
+        lmHead();
+        return std::move(ops_);
+    }
+
+  private:
+    /** Append a GEMM-style op: [tokens, in] × [in, out] sharded by @p tp. */
+    LlmOp&
+    gemm(std::string name, OpCategory cat, int layer, U64 tokens, U64 in,
+         U64 out, int tp, int weight_extents = 1)
+    {
+        LlmOp op;
+        op.name = std::move(name);
+        op.category = cat;
+        op.layer = layer;
+        const U64 out_local = out / static_cast<U64>(tp);
+        op.flops = 2.0 * static_cast<double>(tokens) *
+                   static_cast<double>(in) *
+                   static_cast<double>(out_local);
+        op.weightBytes = in * out_local * bytes_;
+        op.activationBytes = (tokens * in + tokens * out_local) * bytes_;
+        for (int i = 0; i < weight_extents; ++i) {
+            op.readExtents.push_back(op.weightBytes /
+                                     static_cast<U64>(weight_extents));
+        }
+        ops_.push_back(std::move(op));
+        return ops_.back();
+    }
+
+    /** Element-wise helper (norms, activations, residuals). */
+    void
+    elementwise(std::string name, int layer, U64 tokens, U64 width)
+    {
+        LlmOp op;
+        op.name = std::move(name);
+        op.category = OpCategory::Other;
+        op.layer = layer;
+        op.flops = 5.0 * static_cast<double>(tokens) *
+                   static_cast<double>(width);
+        op.activationBytes = 2 * tokens * width * bytes_;
+        ops_.push_back(std::move(op));
+    }
+
+    void
+    embedding()
+    {
+        LlmOp op;
+        op.name = "embedding";
+        op.layer = -1;
+        // A gather of one d-wide row per token.
+        const U64 tokens = attnTokens_;
+        op.activationBytes = tokens * static_cast<U64>(m_.dModel) * bytes_;
+        op.weightBytes = tokens * static_cast<U64>(m_.dModel) * bytes_;
+        op.readExtents.assign(static_cast<std::size_t>(std::min<U64>(
+                                  tokens, 4096)),
+                              static_cast<U64>(m_.dModel) * bytes_);
+        ops_.push_back(std::move(op));
+    }
+
+    void
+    lmHead()
+    {
+        gemm("lm_head", OpCategory::Other, -1, attnTokens_,
+             static_cast<U64>(m_.dModel), static_cast<U64>(m_.vocabSize),
+             par_.tpFfn);
+    }
+
+    void
+    attention(int layer)
+    {
+        if (m_.attention == AttentionKind::Mla)
+            mlaAttention(layer);
+        else
+            gqaAttention(layer);
+    }
+
+    void
+    gqaAttention(int layer)
+    {
+        const U64 d = static_cast<U64>(m_.dModel);
+        const U64 hd = static_cast<U64>(m_.headDim);
+        const U64 nq = static_cast<U64>(m_.numQHeads);
+        const U64 nkv = static_cast<U64>(m_.numKvHeads);
+        const int tp = par_.tpAttention;
+        const U64 tokens = attnTokens_;
+        const U64 s = static_cast<U64>(wl_.seqLen);
+        const U64 seqs = wl_.stage == Stage::Decode
+            ? tokens : static_cast<U64>(wl_.batch);
+
+        elementwise("attn_norm", layer, tokens, d);
+        gemm("qkv_gen", OpCategory::Attention, layer, tokens, d,
+             (nq + 2 * nkv) * hd, tp, 3);
+
+        // Fused score+softmax+context over the per-sequence KV cache.
+        LlmOp att;
+        att.name = "attention";
+        att.category = OpCategory::Attention;
+        att.layer = layer;
+        const U64 q_local = nq / static_cast<U64>(tp);
+        const U64 kv_local = std::max<U64>(1, nkv / static_cast<U64>(tp));
+        const U64 kv_ctx = wl_.stage == Stage::Decode ? s : s / 2;
+        const U64 q_tokens = wl_.stage == Stage::Decode ? 1 : s;
+        att.flops = 4.0 * static_cast<double>(seqs) *
+                    static_cast<double>(q_tokens) *
+                    static_cast<double>(q_local * hd) *
+                    static_cast<double>(kv_ctx);
+        att.kvReadBytes = seqs * s * 2 * kv_local * hd * kvBytes_;
+        att.kvWriteBytes = seqs * q_tokens * 2 * kv_local * hd * kvBytes_;
+        att.activationBytes = 2 * tokens * q_local * hd * bytes_;
+        // Each sequence's K and V are contiguous extents.
+        const U64 n_ext = std::min<U64>(2 * seqs, 4096);
+        att.readExtents.assign(static_cast<std::size_t>(n_ext),
+                               s * kv_local * hd * kvBytes_);
+        ops_.push_back(std::move(att));
+
+        gemm("attn_proj", OpCategory::Attention, layer, tokens, nq * hd, d,
+             tp);
+        elementwise("attn_residual", layer, tokens, d);
+    }
+
+    void
+    mlaAttention(int layer)
+    {
+        const auto& mla = *m_.mla;
+        const U64 d = static_cast<U64>(m_.dModel);
+        const U64 nq = static_cast<U64>(m_.numQHeads);
+        const U64 qr = static_cast<U64>(mla.qLoraRank);
+        const U64 kvr = static_cast<U64>(mla.kvLoraRank);
+        const U64 rope = static_cast<U64>(mla.qkRopeHeadDim);
+        const U64 nope = static_cast<U64>(mla.qkNopeHeadDim);
+        const U64 vh = static_cast<U64>(mla.vHeadDim);
+        const int tp = par_.tpAttention; // 1 (DP) in decode, 8 in prefill
+        const U64 tokens = attnTokens_;
+        const U64 s = static_cast<U64>(wl_.seqLen);
+        const U64 seqs = wl_.stage == Stage::Decode
+            ? tokens
+            : static_cast<U64>(wl_.batch);
+
+        elementwise("attn_norm", layer, tokens, d);
+        // Down projections replicate across TP; up projections shard by
+        // head.
+        gemm("q_down", OpCategory::Attention, layer, tokens, d, qr, 1);
+        gemm("q_up", OpCategory::Attention, layer, tokens, qr,
+             nq * (nope + rope), tp);
+        gemm("kv_down", OpCategory::Attention, layer, tokens, d, kvr + rope,
+             1);
+        ops_.back().kvWriteBytes = tokens * (kvr + rope) * kvBytes_;
+        // Weight absorption: queries move into the latent space.
+        gemm("q_absorb", OpCategory::Attention, layer, tokens * (nq /
+             static_cast<U64>(tp)), nope, kvr, 1);
+        ops_.back().weightBytes = kvr * (nq / static_cast<U64>(tp)) * nope *
+                                  bytes_; // W_UK
+        ops_.back().readExtents = {ops_.back().weightBytes};
+
+        // Fused attention over the shared latent cache.
+        LlmOp att;
+        att.name = "attention";
+        att.category = OpCategory::Attention;
+        att.layer = layer;
+        const U64 q_tokens = wl_.stage == Stage::Decode ? 1 : s;
+        const U64 kv_ctx = wl_.stage == Stage::Decode ? s : s / 2;
+        att.flops = 2.0 * static_cast<double>(seqs) *
+                    static_cast<double>(q_tokens) *
+                    static_cast<double>(nq / static_cast<U64>(tp)) *
+                    (static_cast<double>(kv_ctx * (kvr + rope)) +
+                     static_cast<double>(kv_ctx * kvr));
+        att.kvReadBytes = seqs * s * (kvr + rope) * kvBytes_;
+        att.activationBytes = 2 * tokens *
+                              (nq / static_cast<U64>(tp)) * kvr * bytes_;
+        const U64 n_ext = std::min<U64>(seqs, 4096);
+        att.readExtents.assign(static_cast<std::size_t>(n_ext),
+                               s * (kvr + rope) * kvBytes_);
+        ops_.push_back(std::move(att));
+
+        gemm("v_up", OpCategory::Attention, layer,
+             tokens * (nq / static_cast<U64>(tp)), kvr, vh, 1);
+        ops_.back().weightBytes = kvr * (nq / static_cast<U64>(tp)) * vh *
+                                  bytes_; // W_UV
+        ops_.back().readExtents = {ops_.back().weightBytes};
+        gemm("attn_proj", OpCategory::Attention, layer, tokens, nq * vh, d,
+             tp);
+        elementwise("attn_residual", layer, tokens, d);
+    }
+
+    void
+    ffn(int layer)
+    {
+        const U64 d = static_cast<U64>(m_.dModel);
+        const U64 tokens = ffnTokens_;
+        elementwise("ffn_norm", layer, tokens, d);
+        if (!m_.layerIsMoe(layer)) {
+            const U64 inter = static_cast<U64>(
+                m_.ffn == FfnKind::Moe ? m_.moe->denseIntermediate
+                                       : m_.ffnIntermediate);
+            gemm("ffn_gate_up", OpCategory::Ffn, layer, tokens, d,
+                 2 * inter, par_.tpFfn, 2);
+            // Down projection is row-parallel: the input is sharded.
+            gemm("ffn_down", OpCategory::Ffn, layer, tokens,
+                 inter / static_cast<U64>(par_.tpFfn), d, 1);
+            elementwise("ffn_residual", layer, tokens, d);
+            return;
+        }
+
+        const auto& moe = *m_.moe;
+        const U64 inter = static_cast<U64>(moe.moeIntermediate);
+        const int n = par_.numAccelerators;
+
+        gemm("moe_router", OpCategory::Ffn, layer, tokens, d,
+             static_cast<U64>(moe.numRoutedExperts), 1);
+
+        // Sample this layer's routing (uniform top-k).
+        const int batch_tokens = static_cast<int>(std::min<U64>(
+            tokens, 1 << 20));
+        const MoeRouting routing = sampleRouting(moe, batch_tokens, rng_);
+        const int worst_tokens = par_.expertParallel
+            ? routing.maxTokensPerAccelerator(n)
+            : batch_tokens;
+        const int worst_experts = par_.expertParallel
+            ? routing.maxActiveExpertsPerAccelerator(n)
+            : routing.activeExperts();
+
+        LlmOp experts;
+        experts.name = "moe_experts";
+        experts.category = OpCategory::Ffn;
+        experts.layer = layer;
+        const U64 expert_w = 3 * d * inter * bytes_;
+        experts.flops = 2.0 * 3.0 * static_cast<double>(worst_tokens) *
+                        static_cast<double>(d) * static_cast<double>(inter);
+        experts.weightBytes = static_cast<U64>(worst_experts) * expert_w;
+        experts.activationBytes = 2 * static_cast<U64>(worst_tokens) * d *
+                                  bytes_;
+        // Extents from accelerator 0 (representative for channel balance):
+        // three matrices per active local expert.
+        const int rep_experts = par_.expertParallel
+            ? routing.activeExpertsOnAccelerator(0, n)
+            : routing.activeExperts();
+        experts.readExtents.assign(
+            static_cast<std::size_t>(3 * std::max(rep_experts, 1)),
+            d * inter * bytes_);
+        ops_.push_back(std::move(experts));
+
+        if (moe.numSharedExperts > 0) {
+            const U64 local_tokens = static_cast<U64>(batch_tokens) /
+                                     static_cast<U64>(n);
+            gemm("moe_shared_expert", OpCategory::Ffn, layer,
+                 std::max<U64>(local_tokens, 1), d,
+                 3 * inter * static_cast<U64>(moe.numSharedExperts), 1, 3);
+        }
+        elementwise("ffn_residual", layer, tokens, d);
+    }
+
+    const LlmConfig& m_;
+    const Workload& wl_;
+    const Parallelism& par_;
+    Rng rng_;
+    U64 bytes_;
+    U64 kvBytes_;
+    U64 attnTokens_ = 0;
+    U64 ffnTokens_ = 0;
+    std::vector<LlmOp> ops_;
+};
+
+} // namespace
+
+std::vector<LlmOp>
+buildOpGraph(const LlmConfig& model, const Workload& wl,
+             const Parallelism& par)
+{
+    if (wl.batch < 1 || wl.seqLen < 1)
+        fatal("workload needs positive batch and sequence length");
+    if (wl.stage == Stage::Decode && par.tpAttention == 1 &&
+        wl.batch % par.numAccelerators != 0 && par.numAccelerators > 1) {
+        fatal("data-parallel decode needs batch divisible by %d",
+              par.numAccelerators);
+    }
+    return GraphBuilder(model, wl, par).build();
+}
+
+TrafficSummary
+summarize(const std::vector<LlmOp>& ops)
+{
+    TrafficSummary s;
+    for (const auto& op : ops) {
+        s.flops += op.flops;
+        s.weightBytes += op.weightBytes;
+        s.activationBytes += op.activationBytes;
+        s.kvBytes += op.kvReadBytes + op.kvWriteBytes;
+    }
+    return s;
+}
+
+TrafficSummary
+summarize(const std::vector<LlmOp>& ops, OpCategory cat)
+{
+    TrafficSummary s;
+    for (const auto& op : ops) {
+        if (op.category != cat)
+            continue;
+        s.flops += op.flops;
+        s.weightBytes += op.weightBytes;
+        s.activationBytes += op.activationBytes;
+        s.kvBytes += op.kvReadBytes + op.kvWriteBytes;
+    }
+    return s;
+}
+
+} // namespace rome

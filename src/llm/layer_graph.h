@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Decoder-block operator graphs (Figure 5) with per-accelerator FLOP and
+ * DRAM-traffic accounting.
+ *
+ * Every operator carries: FLOPs (on the worst-loaded accelerator), weight /
+ * activation / KV-cache bytes moved to or from DRAM, and the list of
+ * contiguous tensor extents it reads — the extents feed the channel
+ * load-balance analysis (Fig 13). Attention score/softmax/context run
+ * fused (flash-attention style): their intermediate matrices never visit
+ * DRAM, matching the paper's accelerator model (§VI-A, [77]).
+ */
+
+#ifndef ROME_LLM_LAYER_GRAPH_H
+#define ROME_LLM_LAYER_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.h"
+#include "llm/moe.h"
+#include "llm/parallelism.h"
+
+namespace rome
+{
+
+/** Operator classes the paper's figures break out. */
+enum class OpCategory { Attention, Ffn, Other };
+
+/** One operator of the forward pass (per accelerator). */
+struct LlmOp
+{
+    std::string name;
+    OpCategory category = OpCategory::Other;
+    /** Owning decoder block; -1 for embedding / LM head. */
+    int layer = -1;
+    /** FLOPs on the worst-loaded accelerator. */
+    double flops = 0.0;
+    std::uint64_t weightBytes = 0;
+    std::uint64_t activationBytes = 0;
+    std::uint64_t kvReadBytes = 0;
+    std::uint64_t kvWriteBytes = 0;
+    /** Contiguous tensors read (weights + KV), for channel-LBR analysis. */
+    std::vector<std::uint64_t> readExtents;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return weightBytes + activationBytes + kvReadBytes + kvWriteBytes;
+    }
+
+    /** Bytes written to DRAM (KV appends + half the activation traffic). */
+    std::uint64_t
+    writeBytes() const
+    {
+        return kvWriteBytes + activationBytes / 2;
+    }
+};
+
+/** One evaluation point. */
+struct Workload
+{
+    Stage stage = Stage::Decode;
+    /** Global batch (sequences). */
+    int batch = 256;
+    /** Context length per sequence (the paper fixes 8 K). */
+    int seqLen = 8192;
+    /** Seed for MoE routing samples. */
+    std::uint64_t seed = 1;
+};
+
+/** Build the full forward-pass operator list for one step. */
+std::vector<LlmOp> buildOpGraph(const LlmConfig& model, const Workload& wl,
+                                const Parallelism& par);
+
+/** Aggregate traffic of an operator list. */
+struct TrafficSummary
+{
+    double flops = 0.0;
+    std::uint64_t weightBytes = 0;
+    std::uint64_t activationBytes = 0;
+    std::uint64_t kvBytes = 0;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return weightBytes + activationBytes + kvBytes;
+    }
+};
+
+/** Sum traffic, optionally restricted to one category. */
+TrafficSummary summarize(const std::vector<LlmOp>& ops);
+TrafficSummary summarize(const std::vector<LlmOp>& ops, OpCategory cat);
+
+} // namespace rome
+
+#endif // ROME_LLM_LAYER_GRAPH_H

@@ -1,0 +1,139 @@
+#include "llm/model_config.h"
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+std::uint64_t
+LlmConfig::kvBytesPerTokenPerLayer() const
+{
+    const auto b = static_cast<std::uint64_t>(kvBytesPerElement);
+    if (attention == AttentionKind::Mla) {
+        // The compressed latent plus the decoupled RoPE key (§III of [12]).
+        return static_cast<std::uint64_t>(mla->kvLoraRank +
+                                          mla->qkRopeHeadDim) * b;
+    }
+    return 2ULL * static_cast<std::uint64_t>(numKvHeads) *
+           static_cast<std::uint64_t>(headDim) * b;
+}
+
+std::uint64_t
+LlmConfig::attentionParamsPerLayer() const
+{
+    const auto d = static_cast<std::uint64_t>(dModel);
+    if (attention == AttentionKind::Mla) {
+        const auto& m = *mla;
+        const auto heads = static_cast<std::uint64_t>(numQHeads);
+        const auto qk = static_cast<std::uint64_t>(m.qkNopeHeadDim +
+                                                   m.qkRopeHeadDim);
+        std::uint64_t p = 0;
+        p += d * static_cast<std::uint64_t>(m.qLoraRank);        // W_DQ
+        p += static_cast<std::uint64_t>(m.qLoraRank) * heads * qk; // W_UQ
+        p += d * static_cast<std::uint64_t>(m.kvLoraRank +
+                                            m.qkRopeHeadDim);    // W_DKV
+        p += static_cast<std::uint64_t>(m.kvLoraRank) * heads *
+             static_cast<std::uint64_t>(m.qkNopeHeadDim);        // W_UK
+        p += static_cast<std::uint64_t>(m.kvLoraRank) * heads *
+             static_cast<std::uint64_t>(m.vHeadDim);             // W_UV
+        p += heads * static_cast<std::uint64_t>(m.vHeadDim) * d; // W_O
+        return p;
+    }
+    const auto hd = static_cast<std::uint64_t>(headDim);
+    const auto q = static_cast<std::uint64_t>(numQHeads) * hd;
+    const auto kv = static_cast<std::uint64_t>(numKvHeads) * hd;
+    return d * q         // W_Q
+         + 2ULL * d * kv // W_K, W_V
+         + q * d;        // W_O
+}
+
+std::uint64_t
+LlmConfig::ffnParamsPerLayer(int layer) const
+{
+    const auto d = static_cast<std::uint64_t>(dModel);
+    if (!layerIsMoe(layer)) {
+        const int inter = (ffn == FfnKind::Moe && moe)
+            ? moe->denseIntermediate : ffnIntermediate;
+        return 3ULL * d * static_cast<std::uint64_t>(inter);
+    }
+    const auto& m = *moe;
+    const auto experts = static_cast<std::uint64_t>(m.numRoutedExperts +
+                                                    m.numSharedExperts);
+    const auto router = d * static_cast<std::uint64_t>(m.numRoutedExperts);
+    return experts * 3ULL * d *
+           static_cast<std::uint64_t>(m.moeIntermediate) + router;
+}
+
+std::uint64_t
+LlmConfig::totalParams() const
+{
+    std::uint64_t p = 0;
+    for (int l = 0; l < numLayers; ++l)
+        p += attentionParamsPerLayer() + ffnParamsPerLayer(l);
+    // Token embedding + LM head (untied).
+    p += 2ULL * static_cast<std::uint64_t>(vocabSize) *
+         static_cast<std::uint64_t>(dModel);
+    return p;
+}
+
+LlmConfig
+deepseekV3()
+{
+    LlmConfig c;
+    c.name = "DeepSeek-V3";
+    c.numLayers = 61;
+    c.dModel = 7168;
+    c.numQHeads = 128;
+    c.numKvHeads = 128;
+    c.headDim = 128;
+    c.attention = AttentionKind::Mla;
+    c.mla = MlaConfig{};
+    c.ffn = FfnKind::Moe;
+    c.moe = MoeConfig{256, 8, 1, 2048, 3, 18432};
+    c.vocabSize = 129280;
+    return c;
+}
+
+LlmConfig
+grok1()
+{
+    LlmConfig c;
+    c.name = "Grok 1";
+    c.numLayers = 64;
+    c.dModel = 6144;
+    c.numQHeads = 48;
+    c.numKvHeads = 8;
+    c.headDim = 128;
+    c.attention = AttentionKind::Gqa;
+    c.ffn = FfnKind::Moe;
+    c.moe = MoeConfig{8, 2, 0, 32768, 0, 0};
+    c.vocabSize = 131072;
+    return c;
+}
+
+LlmConfig
+llama3_405b()
+{
+    LlmConfig c;
+    c.name = "Llama 3";
+    c.numLayers = 126;
+    c.dModel = 16384;
+    c.numQHeads = 128;
+    c.numKvHeads = 8;
+    c.headDim = 128;
+    c.attention = AttentionKind::Gqa;
+    c.ffn = FfnKind::Dense;
+    c.ffnIntermediate = 53248;
+    c.vocabSize = 128256;
+    return c;
+}
+
+std::vector<LlmConfig>
+evaluatedModels()
+{
+    return {deepseekV3(), grok1(), llama3_405b()};
+}
+
+} // namespace rome

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Architecture descriptors of the three LLMs the paper evaluates (§VI-A):
+ * DeepSeek-V3 (MLA + MoE), Grok 1 (GQA + MoE), and Llama 3 405B (GQA +
+ * dense FFN). Only shapes are described — memory-system behaviour depends
+ * on tensor sizes and access order, never on values.
+ */
+
+#ifndef ROME_LLM_MODEL_CONFIG_H
+#define ROME_LLM_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rome
+{
+
+/** Self-attention flavour. */
+enum class AttentionKind { Gqa, Mla };
+
+/** Feed-forward flavour. */
+enum class FfnKind { Dense, Moe };
+
+/** Multi-head latent attention shapes (DeepSeek-V3). */
+struct MlaConfig
+{
+    int qLoraRank = 1536;
+    int kvLoraRank = 512;
+    int qkNopeHeadDim = 128;
+    int qkRopeHeadDim = 64;
+    int vHeadDim = 128;
+};
+
+/** Mixture-of-experts shapes. */
+struct MoeConfig
+{
+    int numRoutedExperts = 256;
+    int topK = 8;
+    int numSharedExperts = 1;
+    int moeIntermediate = 2048;
+    /** Leading decoder blocks that use a dense FFN instead. */
+    int denseLeadingLayers = 0;
+    /** Intermediate size of those leading dense FFNs. */
+    int denseIntermediate = 0;
+};
+
+/** One transformer-decoder LLM. */
+struct LlmConfig
+{
+    std::string name;
+    int numLayers = 0;
+    int dModel = 0;
+    int numQHeads = 0;
+    int numKvHeads = 0;
+    int headDim = 128;
+    AttentionKind attention = AttentionKind::Gqa;
+    std::optional<MlaConfig> mla;
+    FfnKind ffn = FfnKind::Dense;
+    /** Dense FFN intermediate size (ignored for pure-MoE layers). */
+    int ffnIntermediate = 0;
+    std::optional<MoeConfig> moe;
+    int vocabSize = 0;
+    /** BF16 weights/activations (§VI-A). */
+    int bytesPerParam = 2;
+    /**
+     * Bytes per KV-cache element (BF16 default, like the paper; set to 1
+     * to study FP8-quantized caches).
+     */
+    int kvBytesPerElement = 2;
+
+    /** KV-cache bytes per token per layer (GQA: K+V heads; MLA: latent). */
+    std::uint64_t kvBytesPerTokenPerLayer() const;
+
+    /** Attention weight parameters of one decoder block. */
+    std::uint64_t attentionParamsPerLayer() const;
+
+    /** FFN weight parameters of decoder block @p layer. */
+    std::uint64_t ffnParamsPerLayer(int layer) const;
+
+    /** Total parameters including embedding and LM head. */
+    std::uint64_t totalParams() const;
+
+    /** Total weight bytes. */
+    std::uint64_t
+    totalWeightBytes() const
+    {
+        return totalParams() * static_cast<std::uint64_t>(bytesPerParam);
+    }
+
+    /** True when decoder block @p layer uses MoE routing. */
+    bool
+    layerIsMoe(int layer) const
+    {
+        return ffn == FfnKind::Moe && moe &&
+               layer >= moe->denseLeadingLayers;
+    }
+};
+
+/** DeepSeek-V3: 61 layers, d=7168, MLA, 256-expert top-8 MoE [12]. */
+LlmConfig deepseekV3();
+
+/** Grok 1: 64 layers, d=6144, GQA 48Q/8KV, 8-expert top-2 MoE [73]. */
+LlmConfig grok1();
+
+/** Llama 3 405B: 126 layers, d=16384, GQA 128Q/8KV, dense FFN [13]. */
+LlmConfig llama3_405b();
+
+/** The three evaluated models in paper order. */
+std::vector<LlmConfig> evaluatedModels();
+
+} // namespace rome
+
+#endif // ROME_LLM_MODEL_CONFIG_H

@@ -1,0 +1,95 @@
+#include "llm/moe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+double
+expectedExpertCoverage(int num_experts, int top_k, int batch)
+{
+    if (num_experts <= 0 || top_k <= 0 || batch <= 0)
+        return 0.0;
+    // P(expert untouched by one token) = 1 - k/E (exact for uniform
+    // distinct top-k); independence across tokens.
+    const double miss = 1.0 - static_cast<double>(top_k) /
+                              static_cast<double>(num_experts);
+    return 1.0 - std::pow(miss, batch);
+}
+
+int
+MoeRouting::activeExperts() const
+{
+    int n = 0;
+    for (int t : tokensPerExpert)
+        n += t > 0;
+    return n;
+}
+
+int
+MoeRouting::tokensOnAccelerator(int acc, int n) const
+{
+    const auto e = static_cast<int>(tokensPerExpert.size());
+    const int per = e / n;
+    int total = 0;
+    for (int i = acc * per; i < (acc + 1) * per; ++i)
+        total += tokensPerExpert[static_cast<std::size_t>(i)];
+    return total;
+}
+
+int
+MoeRouting::activeExpertsOnAccelerator(int acc, int n) const
+{
+    const auto e = static_cast<int>(tokensPerExpert.size());
+    const int per = e / n;
+    int total = 0;
+    for (int i = acc * per; i < (acc + 1) * per; ++i)
+        total += tokensPerExpert[static_cast<std::size_t>(i)] > 0;
+    return total;
+}
+
+int
+MoeRouting::maxTokensPerAccelerator(int n) const
+{
+    int worst = 0;
+    for (int a = 0; a < n; ++a)
+        worst = std::max(worst, tokensOnAccelerator(a, n));
+    return worst;
+}
+
+int
+MoeRouting::maxActiveExpertsPerAccelerator(int n) const
+{
+    int worst = 0;
+    for (int a = 0; a < n; ++a)
+        worst = std::max(worst, activeExpertsOnAccelerator(a, n));
+    return worst;
+}
+
+MoeRouting
+sampleRouting(const MoeConfig& moe, int batch, Rng& rng)
+{
+    MoeRouting r;
+    r.tokensPerExpert.assign(
+        static_cast<std::size_t>(moe.numRoutedExperts), 0);
+    // Each token picks top-k distinct experts uniformly (partial
+    // Fisher-Yates over the expert indices).
+    std::vector<int> idx(static_cast<std::size_t>(moe.numRoutedExperts));
+    for (int i = 0; i < moe.numRoutedExperts; ++i)
+        idx[static_cast<std::size_t>(i)] = i;
+    for (int t = 0; t < batch; ++t) {
+        for (int j = 0; j < moe.topK; ++j) {
+            const auto pick = static_cast<std::size_t>(
+                rng.between(j, moe.numRoutedExperts - 1));
+            std::swap(idx[static_cast<std::size_t>(j)], idx[pick]);
+            ++r.tokensPerExpert[static_cast<std::size_t>(
+                idx[static_cast<std::size_t>(j)])];
+        }
+    }
+    return r;
+}
+
+} // namespace rome

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mixture-of-experts routing statistics.
+ *
+ * Routing is modeled as uniform top-k selection (the standard synthetic
+ * assumption for memory studies; real routers are load-balanced toward
+ * uniform by their auxiliary losses). Provides both closed-form expected
+ * expert coverage and per-layer sampled activations — the samples drive
+ * expert-parallel load imbalance and the channel-LBR analysis (Fig 13).
+ */
+
+#ifndef ROME_LLM_MOE_H
+#define ROME_LLM_MOE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "llm/model_config.h"
+
+namespace rome
+{
+
+/** Expected fraction of experts activated by @p batch tokens (top-k of e). */
+double expectedExpertCoverage(int num_experts, int top_k, int batch);
+
+/** Result of sampling one MoE layer's routing. */
+struct MoeRouting
+{
+    /** Tokens routed to each expert (length = numRoutedExperts). */
+    std::vector<int> tokensPerExpert;
+
+    /** Number of experts that received at least one token. */
+    int activeExperts() const;
+
+    /** Tokens landing on accelerator @p acc of @p n (contiguous sharding). */
+    int tokensOnAccelerator(int acc, int n) const;
+
+    /** Experts with >= 1 token on accelerator @p acc of @p n. */
+    int activeExpertsOnAccelerator(int acc, int n) const;
+
+    /** Max over accelerators of routed tokens (EP load imbalance). */
+    int maxTokensPerAccelerator(int n) const;
+
+    /** Max over accelerators of active local experts. */
+    int maxActiveExpertsPerAccelerator(int n) const;
+};
+
+/** Sample uniform top-k routing of @p batch tokens. */
+MoeRouting sampleRouting(const MoeConfig& moe, int batch, Rng& rng);
+
+} // namespace rome
+
+#endif // ROME_LLM_MOE_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-accelerator parallelization strategies (§VI-A).
+ *
+ * Decode: attention runs data-parallel for DeepSeek-V3 (the MLA latent
+ * cache favours DP to avoid TP communication [78]) and tensor-parallel
+ * (degree 8) for the GQA models; MoE layers use expert parallelism; the
+ * dense Llama 3 FFN uses TP. Prefill applies TP = 8 everywhere.
+ */
+
+#ifndef ROME_LLM_PARALLELISM_H
+#define ROME_LLM_PARALLELISM_H
+
+#include "llm/model_config.h"
+
+namespace rome
+{
+
+/** Inference stage. */
+enum class Stage { Prefill, Decode };
+
+/** Sharding of one model across accelerators. */
+struct Parallelism
+{
+    int numAccelerators = 8;
+    /** TP degree of the attention block (1 = data parallel across accs). */
+    int tpAttention = 8;
+    /** TP degree of dense FFN blocks. */
+    int tpFfn = 8;
+    /** Route MoE layers with expert parallelism. */
+    bool expertParallel = true;
+
+    /** Sequences processed per accelerator for a global batch @p b. */
+    int
+    localBatchAttention(int b) const
+    {
+        return tpAttention == 1 ? b / numAccelerators : b;
+    }
+};
+
+/** The paper's parallelization for @p model in @p stage (§VI-A). */
+inline Parallelism
+paperParallelism(const LlmConfig& model, Stage stage)
+{
+    Parallelism p;
+    if (stage == Stage::Prefill) {
+        p.tpAttention = 8;
+        p.tpFfn = 8;
+        return p;
+    }
+    p.tpAttention = model.attention == AttentionKind::Mla ? 1 : 8;
+    p.tpFfn = 8;
+    p.expertParallel = model.ffn == FfnKind::Moe;
+    return p;
+}
+
+/** Single-device view (used for global tensor-size reports like Fig 1). */
+inline Parallelism
+singleDevice()
+{
+    Parallelism p;
+    p.numAccelerators = 1;
+    p.tpAttention = 1;
+    p.tpFfn = 1;
+    p.expertParallel = false;
+    return p;
+}
+
+} // namespace rome
+
+#endif // ROME_LLM_PARALLELISM_H

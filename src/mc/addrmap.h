@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical-address → DRAM-coordinate mapping (§II-D "address mapping unit").
+ *
+ * A mapping is an ordered list of fields consumed from the least-significant
+ * end of the channel-local byte address (after the intra-column offset).
+ * The evaluation sweeps mappings for both systems and keeps the best
+ * (§VI-A), which bench_addrmap reproduces.
+ */
+
+#ifndef ROME_MC_ADDRMAP_H
+#define ROME_MC_ADDRMAP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/address.h"
+
+namespace rome
+{
+
+/** Address-bit field kinds. */
+enum class AddrField { Pc, Sid, Bg, Bank, Col, Row };
+
+/** One field in LSB→MSB order; Col may be split across entries. */
+struct AddrFieldSpec
+{
+    AddrField field;
+    int bits;
+};
+
+/** Maps channel-local byte addresses to DRAM coordinates. */
+class AddressMapping
+{
+  public:
+    /**
+     * Build a mapping for @p org with fields listed LSB→MSB in @p spec.
+     * Field widths must cover the organization exactly (checked).
+     */
+    AddressMapping(const Organization& org, std::vector<AddrFieldSpec> spec,
+                   std::string name);
+
+    /** Decode a byte address (the intra-column offset is dropped). */
+    DramAddress decode(std::uint64_t addr) const;
+
+    /** Human-readable mapping name, e.g. "RoSiBaBgCoPc". */
+    const std::string& name() const { return name_; }
+
+    const Organization& organization() const { return org_; }
+
+  private:
+    Organization org_;
+    std::vector<AddrFieldSpec> spec_;
+    std::string name_;
+    int colOffsetBits_;
+};
+
+/**
+ * Mapping presets, LSB→MSB after the 32 B column offset.
+ *
+ * The names read MSB→LSB in the Ramulator tradition: e.g. RoSiBaBgCoPc puts
+ * the PC bit lowest (consecutive 32 B alternate PCs) and the row bits
+ * highest.
+ */
+std::vector<AddressMapping> standardMappings(const Organization& org);
+
+/** The mapping the baseline evaluation uses (best streaming bandwidth). */
+AddressMapping bestBaselineMapping(const Organization& org);
+
+} // namespace rome
+
+#endif // ROME_MC_ADDRMAP_H

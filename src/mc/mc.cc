@@ -1,0 +1,499 @@
+#include "mc/mc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+namespace
+{
+
+/** Candidate priorities (smaller = preferred among same-tick candidates). */
+constexpr int kPrioForced = 0;   // aged ops / overdue refresh
+constexpr int kPrioCasHit = 2;   // FR: ready column command to an open row
+constexpr int kPrioAct = 3;
+constexpr int kPrioPre = 4;
+constexpr int kPrioIdlePre = 5;  // close/adaptive policy precharges
+constexpr int kPrioRefresh = 6;  // opportunistic refresh
+
+/** Refresh postponement bound before a refresh becomes forced (JEDEC: 8). */
+constexpr int kRefreshForceAt = 8;
+constexpr int kRefreshPendingCap = 9;
+
+} // namespace
+
+ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
+                               McConfig mc_cfg)
+    : dramCfg_(cfg), map_(std::move(mapping)), cfg_(mc_cfg),
+      dev_(cfg.org, cfg.timing)
+{
+    if (cfg_.readQueueDepth < 1 || cfg_.writeQueueDepth < 1)
+        fatal("queue depths must be positive");
+    if (cfg_.refreshEnabled) {
+        const int units = cfg.org.pcsPerChannel * cfg.org.sidsPerChannel;
+        const Tick interval =
+            cfg.timing.tREFIbank / cfg.org.banksPerSid();
+        for (int pc = 0; pc < cfg.org.pcsPerChannel; ++pc) {
+            for (int sid = 0; sid < cfg.org.sidsPerChannel; ++sid) {
+                RefreshUnit u;
+                u.pc = pc;
+                u.sid = sid;
+                const int idx = pc * cfg.org.sidsPerChannel + sid;
+                u.nextDue = interval * idx / units;
+                refreshUnits_.push_back(u);
+            }
+        }
+    }
+}
+
+void
+ConventionalMc::enqueue(const Request& req)
+{
+    if (req.size == 0)
+        fatal("zero-size request");
+    const std::uint64_t col = dramCfg_.org.columnBytes;
+    const std::uint64_t first = req.addr / col;
+    const std::uint64_t last = (req.addr + req.size - 1) / col;
+    inflight_[req.id] = ReqState{req.kind, req.arrival,
+                                 static_cast<int>(last - first + 1)};
+    host_.push_back(req);
+}
+
+int
+ConventionalMc::pendingRefreshCount(const RefreshUnit& u) const
+{
+    if (now_ < u.nextDue)
+        return 0;
+    const Tick interval =
+        dramCfg_.timing.tREFIbank / dramCfg_.org.banksPerSid();
+    const auto n = 1 + (now_ - u.nextDue) / interval;
+    return static_cast<int>(std::min<Tick>(n, kRefreshPendingCap));
+}
+
+bool
+ConventionalMc::refreshBlocked(const DramAddress& a) const
+{
+    // ACTs to a bank with a forced refresh pending are held off so the bank
+    // can reach Idle and the refresh can issue.
+    for (const auto& u : refreshUnits_) {
+        if (u.pc != a.pc || u.sid != a.sid)
+            continue;
+        if (pendingRefreshCount(u) < kRefreshForceAt)
+            continue;
+        const int bg = u.bankCursor / dramCfg_.org.banksPerGroup;
+        const int ba = u.bankCursor % dramCfg_.org.banksPerGroup;
+        if (bg == a.bg && ba == a.bank)
+            return true;
+    }
+    return false;
+}
+
+void
+ConventionalMc::pumpArrivals()
+{
+    while (!host_.empty() && host_.front().arrival <= now_) {
+        if (!admitOps())
+            break;
+    }
+}
+
+bool
+ConventionalMc::admitOps()
+{
+    Request& req = host_.front();
+    const bool is_read = req.kind == ReqKind::Read;
+    auto& queue = is_read ? readQ_ : writeQ_;
+    const auto& outstanding = is_read ? readOutstanding_ : writeOutstanding_;
+    const auto depth = static_cast<std::size_t>(
+        is_read ? cfg_.readQueueDepth : cfg_.writeQueueDepth);
+    const std::uint64_t col = dramCfg_.org.columnBytes;
+    const std::uint64_t first_line = req.addr / col;
+    const std::uint64_t last_line = (req.addr + req.size - 1) / col;
+    const std::uint64_t total = last_line - first_line + 1;
+
+    while (frontOffset_ < total && queue.size() + outstanding.size() < depth) {
+        const std::uint64_t line = first_line + frontOffset_;
+        queue.push_back(Op{map_.decode(line * col), req.id, req.kind,
+                           req.arrival});
+        ++frontOffset_;
+    }
+    if (frontOffset_ == total) {
+        host_.pop_front();
+        frontOffset_ = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
+{
+    for (std::size_t i = 0; i < refreshUnits_.size(); ++i) {
+        const RefreshUnit& u = refreshUnits_[i];
+        const int pending = pendingRefreshCount(u);
+        if (pending == 0)
+            continue;
+        DramAddress a;
+        a.pc = u.pc;
+        a.sid = u.sid;
+        a.bg = u.bankCursor / dramCfg_.org.banksPerGroup;
+        a.bank = u.bankCursor % dramCfg_.org.banksPerGroup;
+
+        const bool forced = pending >= kRefreshForceAt;
+        if (!forced) {
+            // Postpone while the target bank has queued work.
+            const auto targets_bank = [&](const Op& op) {
+                return op.addr.pc == a.pc && op.addr.sid == a.sid &&
+                       op.addr.bg == a.bg && op.addr.bank == a.bank;
+            };
+            if (std::any_of(readQ_.begin(), readQ_.end(), targets_bank) ||
+                std::any_of(writeQ_.begin(), writeQ_.end(), targets_bank)) {
+                continue;
+            }
+        }
+
+        Candidate c;
+        c.isRefresh = true;
+        c.refreshUnit = static_cast<int>(i);
+        c.priority = forced ? kPrioForced : kPrioRefresh;
+        c.age = u.nextDue; // most-overdue first among refresh ties
+        if (dev_.bankRecord(a).open()) {
+            a.row = dev_.openRow(a);
+            c.cmd = Command{CmdKind::Pre, a};
+        } else {
+            c.cmd = Command{CmdKind::RefPb, a};
+        }
+        c.earliest = dev_.earliestIssue(c.cmd, now_);
+        if (c.earliest != kTickMax)
+            out.push_back(c);
+    }
+}
+
+void
+ConventionalMc::collectOpCandidates(std::vector<Candidate>& out) const
+{
+    // Per-bank summary: does any queued op hit the open row / want the bank?
+    struct BankWork
+    {
+        bool hasHit = false;
+        Tick oldestConflict = kTickMax;
+    };
+    std::unordered_map<int, BankWork> work;
+    const auto scan = [&](const std::vector<Op>& q) {
+        for (const Op& op : q) {
+            const int idx = flatBankIndex(dramCfg_.org, op.addr);
+            const BankRecord& rec = dev_.bankRecord(op.addr);
+            auto& w = work[idx];
+            if (rec.open() && rec.openRow == op.addr.row)
+                w.hasHit = true;
+            else if (rec.open())
+                w.oldestConflict = std::min(w.oldestConflict, op.arrival);
+        }
+    };
+    scan(readQ_);
+    if (drainingWrites_)
+        scan(writeQ_);
+
+    // Track banks we already emitted an ACT/PRE candidate for (dedupe).
+    std::unordered_set<int> act_banks, pre_banks;
+
+    const auto consider = [&](const std::vector<Op>& q, bool is_write) {
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const Op& op = q[i];
+            if (refreshBlocked(op.addr))
+                continue;
+            const BankRecord& rec = dev_.bankRecord(op.addr);
+            const int bank_idx = flatBankIndex(dramCfg_.org, op.addr);
+            const bool aged = now_ - op.arrival > cfg_.agePriorityThreshold;
+
+            Candidate c;
+            c.age = op.arrival;
+            c.opIndex = static_cast<int>(i);
+            c.isWrite = is_write;
+            if (rec.open() && rec.openRow == op.addr.row) {
+                c.cmd = Command{is_write ? CmdKind::Wr : CmdKind::Rd,
+                                op.addr};
+                c.priority = aged ? kPrioForced : kPrioCasHit;
+            } else if (!rec.open()) {
+                if (!act_banks.insert(bank_idx).second)
+                    continue;
+                c.cmd = Command{CmdKind::Act, op.addr};
+                c.priority = aged ? kPrioForced : kPrioAct;
+                c.opIndex = -1;
+            } else {
+                // Conflict: precharge only when no queued op still hits the
+                // open row, unless the conflicting op is aged (QoS).
+                const auto it = work.find(bank_idx);
+                const bool has_hit = it != work.end() && it->second.hasHit;
+                if (has_hit && !aged)
+                    continue;
+                if (!pre_banks.insert(bank_idx).second)
+                    continue;
+                DramAddress a = op.addr;
+                a.row = rec.openRow;
+                c.cmd = Command{CmdKind::Pre, a};
+                c.priority = aged ? kPrioForced : kPrioPre;
+                c.opIndex = -1;
+            }
+            c.earliest = dev_.earliestIssue(c.cmd, now_);
+            if (c.earliest != kTickMax)
+                out.push_back(c);
+        }
+    };
+    consider(readQ_, false);
+    if (drainingWrites_)
+        consider(writeQ_, true);
+
+    // Close/adaptive page policies: precharge open rows with no pending hit.
+    if (cfg_.pagePolicy != PagePolicy::Open) {
+        for (int pc = 0; pc < dramCfg_.org.pcsPerChannel; ++pc) {
+            for (int sid = 0; sid < dramCfg_.org.sidsPerChannel; ++sid) {
+                for (int bg = 0; bg < dramCfg_.org.bankGroupsPerSid; ++bg) {
+                    for (int ba = 0; ba < dramCfg_.org.banksPerGroup; ++ba) {
+                        DramAddress a{pc, sid, bg, ba, 0, 0};
+                        const BankRecord& rec = dev_.bankRecord(a);
+                        if (!rec.open())
+                            continue;
+                        const int idx = flatBankIndex(dramCfg_.org, a);
+                        const auto it = work.find(idx);
+                        if (it != work.end() && it->second.hasHit)
+                            continue;
+                        if (cfg_.pagePolicy == PagePolicy::Adaptive) {
+                            const Tick last_use =
+                                std::max(rec.lastAct,
+                                         rec.lastCas == kTickInvalid
+                                             ? rec.lastAct
+                                             : rec.lastCas);
+                            if (now_ - last_use < cfg_.adaptiveIdleTimeout)
+                                continue;
+                        }
+                        if (!pre_banks.insert(idx).second)
+                            continue;
+                        a.row = rec.openRow;
+                        Candidate c;
+                        c.cmd = Command{CmdKind::Pre, a};
+                        c.priority = kPrioIdlePre;
+                        c.age = 0;
+                        c.earliest = dev_.earliestIssue(c.cmd, now_);
+                        if (c.earliest != kTickMax)
+                            out.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+ConventionalMc::completeOp(const Op& op, Tick data_end)
+{
+    if (op.kind == ReqKind::Read)
+        bytesRead_ += dramCfg_.org.columnBytes;
+    else
+        bytesWritten_ += dramCfg_.org.columnBytes;
+    auto it = inflight_.find(op.reqId);
+    if (it == inflight_.end())
+        panic("completion for unknown request %llu",
+              static_cast<unsigned long long>(op.reqId));
+    if (--it->second.opsRemaining == 0) {
+        completions_.push_back(Completion{op.reqId, data_end});
+        latencyNs_.sample(nsFromTicks(data_end - it->second.arrival));
+        inflight_.erase(it);
+    }
+}
+
+bool
+ConventionalMc::stepOnce(Tick until)
+{
+    std::erase_if(readOutstanding_, [&](Tick t) { return t <= now_; });
+    std::erase_if(writeOutstanding_, [&](Tick t) { return t <= now_; });
+    pumpArrivals();
+
+    // Write-drain hysteresis.
+    const auto w_occ = static_cast<double>(writeQ_.size());
+    const auto w_depth = static_cast<double>(cfg_.writeQueueDepth);
+    if (!drainingWrites_) {
+        if (w_occ >= cfg_.writeHighWatermark * w_depth ||
+            (readQ_.empty() && !writeQ_.empty())) {
+            drainingWrites_ = true;
+        }
+    } else if (w_occ <= cfg_.writeLowWatermark * w_depth &&
+               !(readQ_.empty() && !writeQ_.empty())) {
+        drainingWrites_ = false;
+    }
+
+    std::vector<Candidate> cands;
+    cands.reserve(readQ_.size() + writeQ_.size() + refreshUnits_.size());
+    collectRefreshCandidates(cands);
+    collectOpCandidates(cands);
+
+    if (cands.empty()) {
+        // Nothing schedulable: jump to the next arrival, queue-entry
+        // release, refresh due time, or adaptive-policy timeout expiry.
+        Tick next = kTickMax;
+        if (!host_.empty()) {
+            Tick admit_at = std::max(host_.front().arrival, now_ + 1);
+            Tick first_free = kTickMax;
+            for (const auto* outstanding :
+                 {&readOutstanding_, &writeOutstanding_}) {
+                for (Tick t : *outstanding) {
+                    if (t > now_)
+                        first_free = std::min(first_free, t);
+                }
+            }
+            if (first_free != kTickMax)
+                admit_at = std::min(admit_at, std::max(now_ + 1, first_free));
+            next = std::min(next, admit_at);
+        }
+        for (const auto& u : refreshUnits_) {
+            if (pendingRefreshCount(u) == 0)
+                next = std::min(next, u.nextDue);
+        }
+        if (cfg_.pagePolicy == PagePolicy::Adaptive) {
+            for (int pc = 0; pc < dramCfg_.org.pcsPerChannel; ++pc) {
+                for (int sid = 0; sid < dramCfg_.org.sidsPerChannel; ++sid) {
+                    for (int bg = 0; bg < dramCfg_.org.bankGroupsPerSid;
+                         ++bg) {
+                        for (int ba = 0; ba < dramCfg_.org.banksPerGroup;
+                             ++ba) {
+                            const BankRecord& rec = dev_.bankRecord(
+                                DramAddress{pc, sid, bg, ba, 0, 0});
+                            if (!rec.open())
+                                continue;
+                            const Tick last_use =
+                                std::max(rec.lastAct,
+                                         rec.lastCas == kTickInvalid
+                                             ? rec.lastAct
+                                             : rec.lastCas);
+                            next = std::min(
+                                next, std::max(now_ + 1,
+                                               last_use +
+                                               cfg_.adaptiveIdleTimeout));
+                        }
+                    }
+                }
+            }
+        }
+        if (next == kTickMax || next > until) {
+            now_ = std::min(until, kTickMax);
+            return false;
+        }
+        now_ = next;
+        return true;
+    }
+
+    const Candidate* best = nullptr;
+    for (const Candidate& c : cands) {
+        if (!best || c.earliest < best->earliest ||
+            (c.earliest == best->earliest &&
+             (c.priority < best->priority ||
+              (c.priority == best->priority && c.age < best->age)))) {
+            best = &c;
+        }
+    }
+
+    if (best->earliest > until) {
+        now_ = until;
+        return false;
+    }
+
+    now_ = best->earliest;
+    const auto res = dev_.issue(best->cmd, now_);
+    readQOcc_.sample(static_cast<double>(readQ_.size()));
+
+    if (best->isRefresh) {
+        if (best->cmd.kind == CmdKind::RefPb) {
+            RefreshUnit& u =
+                refreshUnits_[static_cast<std::size_t>(best->refreshUnit)];
+            u.bankCursor = (u.bankCursor + 1) % dramCfg_.org.banksPerSid();
+            const Tick interval =
+                dramCfg_.timing.tREFIbank / dramCfg_.org.banksPerSid();
+            u.nextDue += interval;
+        }
+    } else if (best->cmd.kind == CmdKind::Rd || best->cmd.kind == CmdKind::Wr) {
+        auto& queue = best->isWrite ? writeQ_ : readQ_;
+        const Op op = queue[static_cast<std::size_t>(best->opIndex)];
+        queue.erase(queue.begin() + best->opIndex);
+        (best->isWrite ? writeOutstanding_ : readOutstanding_)
+            .push_back(res.dataUntil);
+        ++casIssued_;
+        completeOp(op, res.dataUntil);
+    }
+    return true;
+}
+
+void
+ConventionalMc::runUntil(Tick until)
+{
+    while (now_ < until) {
+        if (!stepOnce(until))
+            break;
+    }
+}
+
+Tick
+ConventionalMc::drain()
+{
+    while (!idle()) {
+        if (!stepOnce(kTickMax - 1))
+            break;
+    }
+    return dev_.lastDataEnd();
+}
+
+bool
+ConventionalMc::idle() const
+{
+    return host_.empty() && readQ_.empty() && writeQ_.empty() &&
+           inflight_.empty();
+}
+
+double
+ConventionalMc::achievedBandwidth() const
+{
+    const Tick end = dev_.lastDataEnd();
+    if (end == 0)
+        return 0.0;
+    return static_cast<double>(bytesRead_ + bytesWritten_) /
+           nsFromTicks(end);
+}
+
+double
+ConventionalMc::rowHitRate() const
+{
+    // Every CAS either hit an already-open row or required an ACT first.
+    if (casIssued_ == 0)
+        return 0.0;
+    const auto acts = dev_.counters().acts.value();
+    if (acts >= casIssued_)
+        return 0.0;
+    return 1.0 - static_cast<double>(acts) /
+                 static_cast<double>(casIssued_);
+}
+
+McComplexity
+ConventionalMc::complexity() const
+{
+    McComplexity c;
+    c.numTimingParams = TimingParams::kNumMcVisibleParams;
+    // One FSM per bank of each PC (Figure 4: N = total banks per PC).
+    c.numBankFsms = dramCfg_.org.sidsPerChannel *
+                    dramCfg_.org.banksPerSid();
+    c.numBankStates = kNumConventionalBankStates;
+    switch (cfg_.pagePolicy) {
+      case PagePolicy::Open: c.pagePolicy = "Open"; break;
+      case PagePolicy::Close: c.pagePolicy = "Close"; break;
+      case PagePolicy::Adaptive: c.pagePolicy = "Adaptive"; break;
+    }
+    c.schedulingConcerns = {"Row-buffer locality", "Bank interleaving",
+                            "Bank group interleaving", "PC interleaving"};
+    // Reported per PC (Table IV compares per-controller structures).
+    c.requestQueueDepth = cfg_.readQueueDepth /
+                          dramCfg_.org.pcsPerChannel;
+    return c;
+}
+
+} // namespace rome

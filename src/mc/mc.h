@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Conventional HBM4 memory controller (paper §II-D, Figure 4).
+ *
+ * Components: address mapping, CAM-style read/write request queues holding
+ * cache-line-sized column operations, per-bank state logic, an FR-FCFS
+ * command scheduler with open/close/adaptive page policies and age-based
+ * QoS, and a per-bank refresh scheduler with bounded postponing.
+ *
+ * The controller drives one ChannelDevice; every command it emits is
+ * re-validated by the device against the full timing rule set.
+ */
+
+#ifndef ROME_MC_MC_H
+#define ROME_MC_MC_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/device.h"
+#include "dram/hbm4_config.h"
+#include "mc/addrmap.h"
+#include "mc/request.h"
+
+namespace rome
+{
+
+/** Row-buffer management policy (§II-D). */
+enum class PagePolicy { Open, Close, Adaptive };
+
+/** Scheduler knobs of the conventional MC. */
+struct McConfig
+{
+    /**
+     * Column-op entries in the read queue. The paper (like Ramulator,
+     * which models each pseudo channel as an independent controller) uses
+     * 64 per PC; this controller serves both PCs of a channel.
+     */
+    int readQueueDepth = 128;
+    /** Column-op entries in the write queue. */
+    int writeQueueDepth = 128;
+    PagePolicy pagePolicy = PagePolicy::Open;
+    /** Drain writes above this occupancy fraction. */
+    double writeHighWatermark = 0.9;
+    /** Stop draining below this occupancy fraction. */
+    double writeLowWatermark = 0.05;
+    /** Enable the refresh scheduler. */
+    bool refreshEnabled = true;
+    /** Ops older than this get absolute priority (QoS, §II-D). */
+    Tick agePriorityThreshold = ticksFromNs(static_cast<std::int64_t>(5000));
+    /** Adaptive policy: precharge an idle open row after this long. */
+    Tick adaptiveIdleTimeout = ticksFromNs(static_cast<std::int64_t>(100));
+};
+
+/** Summary of the scheduling-logic structures (Table IV). */
+struct McComplexity
+{
+    int numTimingParams;
+    int numBankFsms;
+    int numBankStates;
+    std::string pagePolicy;
+    std::vector<std::string> schedulingConcerns;
+    int requestQueueDepth;
+};
+
+/** Conventional column-granularity memory controller for one channel. */
+class ConventionalMc
+{
+  public:
+    ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
+                   McConfig mc_cfg);
+
+    /** Queue a host request (unbounded host-side buffer; FIFO admission). */
+    void enqueue(const Request& req);
+
+    /** Advance simulation until @p until or until fully idle. */
+    void runUntil(Tick until);
+
+    /** Run until every queued request completed; returns finish time. */
+    Tick drain();
+
+    /** True when no work is pending. */
+    bool idle() const;
+
+    Tick now() const { return now_; }
+
+    /** Completions in finish order (appended as requests retire). */
+    const std::vector<Completion>& completions() const { return completions_; }
+
+    const ChannelDevice& device() const { return dev_; }
+    const AddressMapping& mapping() const { return map_; }
+    const McConfig& config() const { return cfg_; }
+
+    // ---- Statistics ----------------------------------------------------
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    /** Achieved data bandwidth over [0, now] in bytes/ns. */
+    double achievedBandwidth() const;
+    /** Fraction of column ops that hit an open row. */
+    double rowHitRate() const;
+    /** Request latency statistics (ns). */
+    const Accumulator& latencyNs() const { return latencyNs_; }
+    /** Read-queue occupancy sampled at each issued command. */
+    const Accumulator& readQueueOccupancy() const { return readQOcc_; }
+
+    /** Table IV introspection. */
+    McComplexity complexity() const;
+
+  private:
+    /** One cache-line-sized column operation. */
+    struct Op
+    {
+        DramAddress addr;
+        std::uint64_t reqId;
+        ReqKind kind;
+        Tick arrival;
+    };
+
+    /** Tracking of a partially decomposed / in-flight host request. */
+    struct ReqState
+    {
+        ReqKind kind;
+        Tick arrival;
+        int opsRemaining; // not yet completed
+    };
+
+    /** Per-(PC, SID) refresh rotation state. */
+    struct RefreshUnit
+    {
+        int pc;
+        int sid;
+        Tick nextDue;
+        int bankCursor = 0;
+    };
+
+    /** A schedulable command candidate. */
+    struct Candidate
+    {
+        Command cmd;
+        Tick earliest;
+        int priority;     // smaller = more urgent
+        Tick age;         // older first among equals
+        int opIndex = -1; // index into the relevant queue for CAS
+        bool isWrite = false;
+        bool isRefresh = false;
+        int refreshUnit = -1;
+    };
+
+    void pumpArrivals();
+    bool admitOps();
+    void collectRefreshCandidates(std::vector<Candidate>& out) const;
+    void collectOpCandidates(std::vector<Candidate>& out) const;
+    bool stepOnce(Tick until);
+    void completeOp(const Op& op, Tick data_end);
+    int pendingRefreshCount(const RefreshUnit& u) const;
+    bool refreshBlocked(const DramAddress& a) const;
+
+    DramConfig dramCfg_;
+    AddressMapping map_;
+    McConfig cfg_;
+    ChannelDevice dev_;
+
+    Tick now_ = 0;
+    std::deque<Request> host_;
+    /** Offset of the next not-yet-admitted byte of host_.front(). */
+    std::uint64_t frontOffset_ = 0;
+    std::vector<Op> readQ_;
+    std::vector<Op> writeQ_;
+    /**
+     * Data-return times of issued-but-incomplete column ops. A CAM entry
+     * tracks its transaction until data transfers, so these still count
+     * against the queue depth (this is what makes deep queues necessary
+     * for bank-parallelism, §V-A).
+     */
+    std::vector<Tick> readOutstanding_;
+    std::vector<Tick> writeOutstanding_;
+    bool drainingWrites_ = false;
+    std::unordered_map<std::uint64_t, ReqState> inflight_;
+    std::vector<RefreshUnit> refreshUnits_;
+    std::vector<Completion> completions_;
+
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    std::uint64_t casIssued_ = 0;
+    Accumulator latencyNs_;
+    Accumulator readQOcc_;
+};
+
+} // namespace rome
+
+#endif // ROME_MC_MC_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Host-side memory requests.
+ *
+ * Following §IV-A, the host (an AI accelerator's DMA engine) delivers bulk
+ * requests on the order of kilobytes to the memory controller. A
+ * conventional MC decomposes each request into cache-line-sized column
+ * operations; the RoMe MC maps each 4 KB-aligned piece onto one
+ * RD_row/WR_row.
+ */
+
+#ifndef ROME_MC_REQUEST_H
+#define ROME_MC_REQUEST_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rome
+{
+
+/** Request direction. */
+enum class ReqKind { Read, Write };
+
+/** A bulk host request addressed to one channel's local address space. */
+struct Request
+{
+    std::uint64_t id = 0;
+    ReqKind kind = ReqKind::Read;
+    /** Channel-local byte address. */
+    std::uint64_t addr = 0;
+    /** Bytes. */
+    std::uint64_t size = 0;
+    /** When the host handed the request to the MC. */
+    Tick arrival = 0;
+};
+
+/** Completion record produced by a memory controller. */
+struct Completion
+{
+    std::uint64_t id = 0;
+    Tick finished = 0;
+};
+
+} // namespace rome
+
+#endif // ROME_MC_REQUEST_H

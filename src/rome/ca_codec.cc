@@ -1,0 +1,106 @@
+#include "rome/ca_codec.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.h"
+#include "dram/timing.h"
+
+namespace rome
+{
+
+namespace
+{
+
+int
+bitsFor(int values)
+{
+    return values <= 1
+        ? 0
+        : static_cast<int>(std::bit_width(
+              static_cast<unsigned>(values - 1)));
+}
+
+} // namespace
+
+CaCodec::CaCodec(const Organization& org, VbaDesign design, double ca_gbps)
+    : org_(org), design_(design), caGbps_(ca_gbps), timing_(hbm4Timing())
+{
+    if (caGbps_ <= 0.0)
+        fatal("C/A rate must be positive");
+}
+
+int
+CaCodec::numCommands() const
+{
+    // Eight legacy row commands (ACT, PRE, PREab, REFab, REFpb, SRE, SRX,
+    // PDE) plus MRS moved onto the row pins, plus RD_row and WR_row (§IV-D).
+    return 11;
+}
+
+int
+CaCodec::opcodeBits() const
+{
+    return bitsFor(numCommands()); // 4
+}
+
+int
+CaCodec::rowCommandAddressBits() const
+{
+    const int sid_bits = bitsFor(org_.sidsPerChannel);
+    const int vba_bits = bitsFor(design_.vbasPerSid(org_));
+    const int row_bits = bitsFor(org_.rowsPerBank);
+    return sid_bits + vba_bits + row_bits;
+}
+
+int
+CaCodec::rowCommandPacketBits() const
+{
+    return opcodeBits() + rowCommandAddressBits();
+}
+
+int
+CaCodec::refPacketBits() const
+{
+    const int sid_bits = bitsFor(org_.sidsPerChannel);
+    const int vba_bits = bitsFor(design_.vbasPerSid(org_));
+    return opcodeBits() + sid_bits + vba_bits;
+}
+
+double
+CaCodec::rowCommandLatencyNs(int pins) const
+{
+    if (pins < 1)
+        fatal("need at least one C/A pin");
+    const double bits_per_ns = static_cast<double>(pins) * caGbps_;
+    return std::ceil(static_cast<double>(rowCommandPacketBits()) /
+                     bits_per_ns);
+}
+
+double
+CaCodec::accessToRefLatencyNs(int pins) const
+{
+    if (pins < 1)
+        fatal("need at least one C/A pin");
+    const double bits_per_ns = static_cast<double>(pins) * caGbps_;
+    return rowCommandLatencyNs(pins) +
+           std::ceil(static_cast<double>(refPacketBits()) / bits_per_ns);
+}
+
+double
+CaCodec::latencyBoundNs() const
+{
+    return 2.0 * nsFromTicks(timing_.tRRDS);
+}
+
+int
+CaCodec::minimumPins() const
+{
+    for (int pins = 1; pins <= kConventionalCaPins; ++pins) {
+        if (accessToRefLatencyNs(pins) <= latencyBoundNs())
+            return pins;
+    }
+    return kConventionalCaPins;
+}
+
+} // namespace rome

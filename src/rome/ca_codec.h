@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Command/address pin encoding model (§IV-D, Figure 10).
+ *
+ * A conventional HBM4 channel spends 18 C/A pins: 10 row pins + 8 column
+ * pins, sized so ACTs can issue every tRRDS and RD/WR can reach both PCs
+ * every tCCDS. RoMe's interface has eleven commands (eight legacy row
+ * commands + MRS + RD_row + WR_row), no column commands, no PC bit, and one
+ * fewer bank bit (a VBA pairs two banks), so commands can be serialized
+ * over a handful of pins. The binding requirement (Figure 10) is that a
+ * REF can follow a RD_row/WR_row within 2 × tRRDS; five pins meet it,
+ * eliminating 13 of 18 pins (72 %).
+ */
+
+#ifndef ROME_ROME_CA_CODEC_H
+#define ROME_ROME_CA_CODEC_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/address.h"
+#include "rome/vba.h"
+
+namespace rome
+{
+
+/** Pin/latency model of the serialized RoMe C/A interface. */
+class CaCodec
+{
+  public:
+    /**
+     * @param org     Base (HBM4) organization.
+     * @param design  VBA design (sets the bank/PC bits removed).
+     * @param ca_gbps Per-pin C/A signaling rate (DDR at the 1 GHz command
+     *                clock = 2 Gb/s).
+     */
+    CaCodec(const Organization& org, VbaDesign design, double ca_gbps = 2.0);
+
+    /** Distinct commands the interface must encode (paper: 11). */
+    int numCommands() const;
+
+    /** Opcode bits (paper: 4). */
+    int opcodeBits() const;
+
+    /** Address payload bits of a RD_row/WR_row (SID + VBA + row). */
+    int rowCommandAddressBits() const;
+
+    /** Total bits of one serialized RD_row/WR_row packet. */
+    int rowCommandPacketBits() const;
+
+    /** Total bits of one serialized REF packet (no row address). */
+    int refPacketBits() const;
+
+    /** Nanoseconds to transmit one RD_row/WR_row over @p pins. */
+    double rowCommandLatencyNs(int pins) const;
+
+    /** Nanoseconds until a REF completes when sent right after an access. */
+    double accessToRefLatencyNs(int pins) const;
+
+    /** The Figure 10 bound: REF-after-access must fit 2 × tRRDS. */
+    double latencyBoundNs() const;
+
+    /** Smallest pin count that satisfies the Figure 10 bound. */
+    int minimumPins() const;
+
+    /** Conventional HBM4 C/A pins per channel (10 row + 8 column). */
+    static constexpr int kConventionalCaPins = 18;
+    static constexpr int kConventionalRowPins = 10;
+    static constexpr int kConventionalColPins = 8;
+
+    /** RoMe C/A pins per channel (the paper's choice). */
+    static constexpr int kRomeCaPins = 5;
+
+    /** Fraction of C/A pins eliminated (paper: 72 %). */
+    static double
+    pinReductionFraction()
+    {
+        return 1.0 -
+               static_cast<double>(kRomeCaPins) /
+               static_cast<double>(kConventionalCaPins);
+    }
+
+  private:
+    Organization org_;
+    VbaDesign design_;
+    double caGbps_;
+    TimingParams timing_;
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_CA_CODEC_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Channel expansion from the freed C/A pin budget (§IV-E).
+ *
+ * RoMe cuts C/A pins per channel from 18 to 5, i.e. channel pins from 120
+ * to 107. Across 32 channels the savings fund four additional channels
+ * (one more channel per DRAM die, 8 → 9) at a cost of only 12 extra pins,
+ * raising cube bandwidth by 12.5 % (2 TB/s → 2.25 TB/s).
+ */
+
+#ifndef ROME_ROME_CHANNEL_EXPANSION_H
+#define ROME_ROME_CHANNEL_EXPANSION_H
+
+#include "dram/address.h"
+
+namespace rome
+{
+
+/** Pin and bandwidth accounting of the expanded RoMe cube. */
+struct ChannelExpansion
+{
+    /** Pins of one conventional HBM4 channel (DQ + C/A + misc) [27]. */
+    int baselineChannelPins = 120;
+    /** C/A pins removed per channel (18 − 5). */
+    int caPinsSaved = 13;
+    int baselineChannels = 32;
+    int addedChannels = 4;
+    /** DRAM-die channels (8 per die baseline, 9 with RoMe). */
+    int channelsPerDieBaseline = 8;
+
+    int
+    romeChannelPins() const
+    {
+        return baselineChannelPins - caPinsSaved;
+    }
+
+    int
+    romeChannels() const
+    {
+        return baselineChannels + addedChannels;
+    }
+
+    int
+    baselineCubePins() const
+    {
+        return baselineChannelPins * baselineChannels;
+    }
+
+    int
+    romeCubePins() const
+    {
+        return romeChannelPins() * romeChannels();
+    }
+
+    /** Net extra pins at the processor interface (paper: 12). */
+    int
+    extraPins() const
+    {
+        return romeCubePins() - baselineCubePins();
+    }
+
+    /** Bandwidth gain from the added channels (paper: 12.5 %). */
+    double
+    bandwidthGain() const
+    {
+        return static_cast<double>(addedChannels) /
+               static_cast<double>(baselineChannels);
+    }
+
+    /** One extra channel per DRAM die (8 → 9, §IV-E). */
+    int
+    channelsPerDieRome() const
+    {
+        return channelsPerDieBaseline + 1;
+    }
+
+    /** Expanded organization: same channel internals, more channels. */
+    Organization
+    expand(const Organization& base) const
+    {
+        Organization o = base;
+        o.channelsPerCube = base.channelsPerCube + addedChannels;
+        return o;
+    }
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_CHANNEL_EXPANSION_H

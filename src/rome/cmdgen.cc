@@ -1,0 +1,171 @@
+#include "rome/cmdgen.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+CommandGenerator::CommandGenerator(const VbaMap& map, ChannelDevice& dev,
+                                   CmdGenPlacement placement)
+    : map_(map), dev_(dev), placement_(placement)
+{
+    const Organization& want = map_.deviceOrganization();
+    const Organization& got = dev_.organization();
+    if (want.pcsPerChannel != got.pcsPerChannel ||
+        want.bankGroupsPerSid != got.bankGroupsPerSid ||
+        want.banksPerGroup != got.banksPerGroup ||
+        want.columnBytes != got.columnBytes) {
+        fatal("device organization does not match the VBA design %s",
+              map_.design().name().c_str());
+    }
+}
+
+Tick
+CommandGenerator::earliestAll(CmdKind kind, const DramAddress& a,
+                              Tick t0) const
+{
+    Tick t = t0;
+    const VbaPlan plan = map_.plan(VbaAddress{a.sid, 0, 0});
+    for (int pc : plan.pcs) {
+        DramAddress pa = a;
+        pa.pc = pc;
+        const Tick e = dev_.earliestIssue({kind, pa}, t0);
+        if (e == kTickMax)
+            return kTickMax;
+        t = std::max(t, e);
+    }
+    return t;
+}
+
+ChannelDevice::IssueResult
+CommandGenerator::issueAll(CmdKind kind, const DramAddress& a, Tick when)
+{
+    ChannelDevice::IssueResult last;
+    const VbaPlan plan = map_.plan(VbaAddress{a.sid, 0, 0});
+    for (int pc : plan.pcs) {
+        DramAddress pa = a;
+        pa.pc = pc;
+        last = dev_.issue({kind, pa}, when);
+    }
+    return last;
+}
+
+CommandGenerator::RowOpResult
+CommandGenerator::execute(const RowCommand& cmd, Tick not_before)
+{
+    ++rowCmds_;
+    if (cmd.kind == RowCmdKind::Ref)
+        return executeRef(cmd, not_before);
+    return executeRdWr(cmd, not_before);
+}
+
+CommandGenerator::RowOpResult
+CommandGenerator::executeRdWr(const RowCommand& cmd, Tick not_before)
+{
+    const VbaPlan plan = map_.plan(cmd.addr);
+    const TimingParams& t = map_.deviceTiming();
+    const bool is_write = cmd.kind == RowCmdKind::WrRow;
+    const CmdKind cas_kind = is_write ? CmdKind::Wr : CmdKind::Rd;
+    const Tick rcd = is_write ? t.tRCDWR : t.tRCDRD;
+    const auto n_banks = static_cast<int>(plan.banks.size());
+    const auto n_pcs = static_cast<std::uint64_t>(plan.pcs.size());
+
+    RowOpResult res;
+
+    // --- Activates -------------------------------------------------------
+    // With two banks, delay the first ACT by tRRDS - tCCDS so the two CAS
+    // streams interleave at tCCDS (Figure 9).
+    std::vector<Tick> act_at(static_cast<std::size_t>(n_banks));
+    std::vector<DramAddress> bank_addr(static_cast<std::size_t>(n_banks));
+    for (int b = 0; b < n_banks; ++b) {
+        DramAddress a;
+        a.sid = cmd.addr.sid;
+        a.bg = plan.banks[static_cast<std::size_t>(b)].first;
+        a.bank = plan.banks[static_cast<std::size_t>(b)].second;
+        a.row = cmd.addr.row;
+        bank_addr[static_cast<std::size_t>(b)] = a;
+    }
+    const Tick align = n_banks == 2 ? t.tRRDS - plan.casCadence : 0;
+    for (int b = 0; b < n_banks; ++b) {
+        const Tick nominal = b == 0 ? not_before + align
+                                    : act_at[0] + t.tRRDS;
+        // Legality must be queried at the nominal time: the shared-bus
+        // slot calendars are not monotone (an earlier free slot does not
+        // imply the nominal one is free).
+        const Tick at = earliestAll(
+            CmdKind::Act, bank_addr[static_cast<std::size_t>(b)], nominal);
+        act_at[static_cast<std::size_t>(b)] = at;
+        issueAll(CmdKind::Act, bank_addr[static_cast<std::size_t>(b)], at);
+        ++res.acts;
+    }
+    res.start = act_at[0];
+
+    // --- Column commands ---------------------------------------------------
+    // Interleave the banks' streams at the plan cadence; the stream is
+    // anchored so the *last-activated* bank's first CAS meets tRCD exactly.
+    const Tick first_cas = act_at[static_cast<std::size_t>(n_banks - 1)] +
+        rcd - (n_banks - 1) * plan.casCadence;
+    Tick next_nominal = first_cas;
+    Tick last_cas = 0;
+    Tick first_cas_actual = kTickMax;
+    for (int i = 0; i < plan.casPerBank * n_banks; ++i) {
+        const int b = i % n_banks;
+        DramAddress a = bank_addr[static_cast<std::size_t>(b)];
+        a.col = i / n_banks;
+        const Tick at = std::max(next_nominal,
+                                 earliestAll(cas_kind, a, next_nominal));
+        const auto r = issueAll(cas_kind, a, at);
+        ++res.cass;
+        first_cas_actual = std::min(first_cas_actual, r.dataFrom);
+        res.dataUntil = std::max(res.dataUntil, r.dataUntil);
+        last_cas = at;
+        next_nominal = at + plan.casCadence;
+    }
+    res.dataFrom = first_cas_actual;
+    res.bytes = static_cast<std::uint64_t>(plan.casPerBank) *
+                static_cast<std::uint64_t>(n_banks) * plan.bytesPerCas *
+                n_pcs;
+
+    // --- Precharges ------------------------------------------------------
+    for (int b = 0; b < n_banks; ++b) {
+        const Tick at = earliestAll(
+            CmdKind::Pre, bank_addr[static_cast<std::size_t>(b)], last_cas);
+        issueAll(CmdKind::Pre, bank_addr[static_cast<std::size_t>(b)], at);
+        ++res.pres;
+        res.vbaReadyAt = std::max(res.vbaReadyAt, at + t.tRP);
+    }
+    return res;
+}
+
+CommandGenerator::RowOpResult
+CommandGenerator::executeRef(const RowCommand& cmd, Tick not_before)
+{
+    const VbaPlan plan = map_.plan(cmd.addr);
+    const TimingParams& t = map_.deviceTiming();
+    RowOpResult res;
+    Tick cursor = not_before;
+    bool first = true;
+    for (const auto& [bg, bank] : plan.banks) {
+        DramAddress a;
+        a.sid = cmd.addr.sid;
+        a.bg = bg;
+        a.bank = bank;
+        const Tick at = earliestAll(CmdKind::RefPb, a, cursor);
+        if (at == kTickMax)
+            panic("REF to a non-idle VBA %s", cmd.addr.str().c_str());
+        issueAll(CmdKind::RefPb, a, at);
+        ++res.refPbs;
+        if (first) {
+            res.start = at;
+            first = false;
+        }
+        res.vbaReadyAt = std::max(res.vbaReadyAt, at + t.tRFCpb);
+        // The second bank's REFpb follows tRREFD behind (§V-B).
+        cursor = at + t.tRREFD;
+    }
+    return res;
+}
+
+} // namespace rome

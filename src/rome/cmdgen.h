@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The RoMe command generator (§IV-C), placed on the HBM logic die.
+ *
+ * It accepts row-level commands (RD_row / WR_row / REF) and lowers each one
+ * into the fixed conventional command sequence of Figure 9:
+ *
+ *   RD_row on the adopted 7d × 8b VBA:
+ *     [+tRRDS-tCCDS] ACT bankA      (the intentional alignment delay)
+ *     [+tRRDS]       ACT bankB
+ *     [ACT_B+tRCDRD-tCCDS, then every tCCDS] RD A/B interleaved, 32 each
+ *     [last RD + tRTP] PRE A, PRE B
+ *
+ * Every lowered command is validated by the ChannelDevice against the full
+ * conventional timing rule set. In steady state the sequence offsets are
+ * constant ("predetermined commands at fixed intervals"); when the MC
+ * requests an operation earlier than the device permits (e.g. back-to-back
+ * on the same VBA), the generator stretches the schedule minimally instead
+ * of violating timing — tests assert both behaviours.
+ *
+ * REF lowering implements the §V-B optimization: the two banks of a VBA are
+ * refreshed back-to-back tRREFD apart, so the VBA stalls for
+ * tRFCpb + tRREFD instead of 2 × tRFCpb.
+ */
+
+#ifndef ROME_ROME_CMDGEN_H
+#define ROME_ROME_CMDGEN_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/device.h"
+#include "rome/rome_command.h"
+#include "rome/vba.h"
+
+namespace rome
+{
+
+/** Where the command generator sits (§IV-C placement trade-off). */
+enum class CmdGenPlacement
+{
+    InMc,     ///< No C/A pin reduction; minimal DRAM-side change.
+    LogicDie, ///< Adopted: cuts MC↔HBM C/A pins; one generator per channel.
+    DramDie,  ///< Cuts TSVs too, but needs one generator per channel per die.
+};
+
+/** Lowers row-level commands onto a (physical) HBM channel. */
+class CommandGenerator
+{
+  public:
+    /**
+     * @param map     VBA organization (owns the lowering plan).
+     * @param dev     The channel device; must be built from
+     *                map.deviceOrganization() / map.deviceTiming().
+     */
+    CommandGenerator(const VbaMap& map, ChannelDevice& dev,
+                     CmdGenPlacement placement = CmdGenPlacement::LogicDie);
+
+    /** Outcome of one lowered row operation. */
+    struct RowOpResult
+    {
+        /** When the first conventional command issued. */
+        Tick start = 0;
+        /** Data occupies the channel in [dataFrom, dataUntil). */
+        Tick dataFrom = 0;
+        Tick dataUntil = 0;
+        /** When every participating bank is idle again. */
+        Tick vbaReadyAt = 0;
+        /** Conventional commands issued for this operation. */
+        int acts = 0;
+        int cass = 0;
+        int pres = 0;
+        int refPbs = 0;
+        /** Bytes transferred. */
+        std::uint64_t bytes = 0;
+    };
+
+    /**
+     * Execute @p cmd, starting no earlier than @p not_before. The MC is
+     * responsible for inter-command row-level spacing (Table III); the
+     * generator enforces conventional timing underneath.
+     */
+    RowOpResult execute(const RowCommand& cmd, Tick not_before);
+
+    CmdGenPlacement placement() const { return placement_; }
+
+    /** Row-level commands accepted so far (for energy accounting). */
+    std::uint64_t rowCommandsAccepted() const { return rowCmds_; }
+
+  private:
+    RowOpResult executeRdWr(const RowCommand& cmd, Tick not_before);
+    RowOpResult executeRef(const RowCommand& cmd, Tick not_before);
+
+    /** Issue @p cmd to every participating PC at the same tick. */
+    ChannelDevice::IssueResult
+    issueAll(CmdKind kind, const DramAddress& a, Tick when);
+
+    /** Earliest tick every participating PC accepts @p kind at @p a. */
+    Tick earliestAll(CmdKind kind, const DramAddress& a, Tick t0) const;
+
+    const VbaMap& map_;
+    ChannelDevice& dev_;
+    CmdGenPlacement placement_;
+    std::uint64_t rowCmds_ = 0;
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_CMDGEN_H

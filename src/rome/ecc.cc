@@ -1,0 +1,34 @@
+#include "rome/ecc.h"
+
+namespace rome
+{
+
+int
+seccDedParityBits(std::uint64_t data_bits)
+{
+    // Smallest r with 2^r >= data_bits + r + 1 (Hamming), plus the
+    // extended parity bit for double-error detection.
+    int r = 1;
+    while ((1ULL << r) < data_bits + static_cast<std::uint64_t>(r) + 1)
+        ++r;
+    return r + 1;
+}
+
+double
+eccOverheadFraction(std::uint64_t codeword_bytes)
+{
+    const std::uint64_t data_bits = codeword_bytes * 8;
+    return static_cast<double>(seccDedParityBits(data_bits)) /
+           static_cast<double>(data_bits);
+}
+
+double
+eccSavingFraction(std::uint64_t fine_bytes, std::uint64_t coarse_bytes)
+{
+    const double fine = eccOverheadFraction(fine_bytes);
+    if (fine <= 0.0)
+        return 0.0;
+    return 1.0 - eccOverheadFraction(coarse_bytes) / fine;
+}
+
+} // namespace rome

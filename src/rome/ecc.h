@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ECC codeword model (Discussion §VII).
+ *
+ * HBM4 adds two ECC pins per 32 DQ pins on top of on-die ECC. With row
+ * granularity access, RoMe can protect a whole 4 KB row with one codeword
+ * instead of one per 32 B cache line, cutting the parity-bit overhead at
+ * equal single-error-correct / double-error-detect strength — or funding
+ * stronger codes at equal overhead. The model uses the Hamming bound for
+ * SEC-DED: r parity bits protect k data bits when 2^r ≥ k + r + 1,
+ * plus one bit for double-error detection.
+ */
+
+#ifndef ROME_ROME_ECC_H
+#define ROME_ROME_ECC_H
+
+#include <cstdint>
+
+namespace rome
+{
+
+/** SEC-DED parity bits for @p data_bits per codeword. */
+int seccDedParityBits(std::uint64_t data_bits);
+
+/** Parity overhead fraction for @p codeword_bytes data per codeword. */
+double eccOverheadFraction(std::uint64_t codeword_bytes);
+
+/** ECC storage saved by moving from @p fine to @p coarse codewords. */
+double eccSavingFraction(std::uint64_t fine_bytes,
+                         std::uint64_t coarse_bytes);
+
+} // namespace rome
+
+#endif // ROME_ROME_ECC_H

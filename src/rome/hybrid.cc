@@ -1,0 +1,42 @@
+#include "rome/hybrid.h"
+
+#include <algorithm>
+
+namespace rome
+{
+
+HybridMc::HybridMc(const DramConfig& base, HybridConfig cfg)
+    : cfg_(cfg), rome_(base, VbaDesign::adopted(), RomeMcConfig{}),
+      fine_(base, bestBaselineMapping(base.org), McConfig{})
+{
+}
+
+void
+HybridMc::enqueue(const Request& req)
+{
+    if (req.size >= cfg_.coarseThreshold)
+        rome_.enqueue(req);
+    else
+        fine_.enqueue(req);
+}
+
+Tick
+HybridMc::drain()
+{
+    const Tick a = rome_.drain();
+    const Tick b = fine_.drain();
+    return std::max(a, b);
+}
+
+double
+HybridMc::effectiveBandwidth() const
+{
+    const Tick end = std::max(rome_.device().lastDataEnd(),
+                              fine_.device().lastDataEnd());
+    if (end == 0)
+        return 0.0;
+    return static_cast<double>(bytesCoarse() + bytesFine()) /
+           nsFromTicks(end);
+}
+
+} // namespace rome

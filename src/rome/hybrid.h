@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hybrid RoMe + HBM4 system (Discussion §VII).
+ *
+ * RoMe is optimized for coarse sequential access; workloads with frequent
+ * fine-grained requests (e.g. DeepSeek Sparse Attention picking top-2048
+ * tokens) overfetch badly at 4 KB granularity. The paper sketches a
+ * heterogeneous system that keeps some conventional HBM4 channels and
+ * routes fine-grained requests there. This router implements that split:
+ * requests at or above the row threshold go to the RoMe partition,
+ * sub-row requests to the conventional partition, each modeled by its own
+ * channel controller.
+ */
+
+#ifndef ROME_ROME_HYBRID_H
+#define ROME_ROME_HYBRID_H
+
+#include <cstdint>
+
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+
+namespace rome
+{
+
+/** Configuration of the heterogeneous channel split. */
+struct HybridConfig
+{
+    /** Requests of at least this many bytes go to the RoMe partition. */
+    std::uint64_t coarseThreshold = 4096;
+    /** Fraction of the cube's channels built as RoMe (rest HBM4). */
+    double romeChannelFraction = 0.75;
+};
+
+/** One RoMe channel + one conventional channel behind a size router. */
+class HybridMc
+{
+  public:
+    HybridMc(const DramConfig& base, HybridConfig cfg);
+
+    /** Route a request by size (addresses are partition-local). */
+    void enqueue(const Request& req);
+
+    /** Drain both partitions; returns the later finish time. */
+    Tick drain();
+
+    const RomeMc& romePartition() const { return rome_; }
+    const ConventionalMc& finePartition() const { return fine_; }
+    const HybridConfig& config() const { return cfg_; }
+
+    std::uint64_t
+    bytesCoarse() const
+    {
+        return rome_.bytesRead() + rome_.bytesWritten();
+    }
+
+    std::uint64_t
+    bytesFine() const
+    {
+        return fine_.bytesRead() + fine_.bytesWritten();
+    }
+
+    /**
+     * Useful bytes per ns delivered by the busier partition's finish time
+     * — the pessimistic (serialized-phase) view of mixed workloads.
+     */
+    double effectiveBandwidth() const;
+
+  private:
+    HybridConfig cfg_;
+    RomeMc rome_;
+    ConventionalMc fine_;
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_HYBRID_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The RoMe row-granularity command interface (§IV-A).
+ *
+ * The RoMe MC issues exactly three commands: RD_row, WR_row, and REF. A
+ * command targets a virtual bank (VBA) and a row; the command generator on
+ * the logic die lowers it into the conventional DRAM command sequence.
+ */
+
+#ifndef ROME_ROME_ROME_COMMAND_H
+#define ROME_ROME_ROME_COMMAND_H
+
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.h"
+
+namespace rome
+{
+
+/** Row-level commands of the RoMe interface. */
+enum class RowCmdKind : int
+{
+    RdRow,
+    WrRow,
+    Ref,
+    NumKinds
+};
+
+/** Short mnemonic. */
+constexpr std::string_view
+rowCmdName(RowCmdKind k)
+{
+    switch (k) {
+      case RowCmdKind::RdRow: return "RD_row";
+      case RowCmdKind::WrRow: return "WR_row";
+      case RowCmdKind::Ref: return "REF";
+      default: return "?";
+    }
+}
+
+/** Location of a virtual-bank row within one channel. */
+struct VbaAddress
+{
+    int sid = 0;
+    /** Virtual-bank index within the SID (0 .. numVbasPerSid-1). */
+    int vba = 0;
+    int row = 0;
+
+    std::string
+    str() const
+    {
+        return strfmt("s%d.v%d.r%d", sid, vba, row);
+    }
+
+    bool
+    sameVba(const VbaAddress& o) const
+    {
+        return sid == o.sid && vba == o.vba;
+    }
+};
+
+/** A row-level command. */
+struct RowCommand
+{
+    RowCmdKind kind = RowCmdKind::RdRow;
+    VbaAddress addr;
+
+    std::string
+    str() const
+    {
+        return std::string(rowCmdName(kind)) + " " + addr.str();
+    }
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_ROME_COMMAND_H

@@ -1,0 +1,416 @@
+#include "rome/rome_mc.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
+               RomeMapOrder map_order)
+    : baseCfg_(base), map_(base.org, base.timing, design), cfg_(cfg),
+      mapOrder_(map_order), dev_(map_.deviceOrganization(),
+                                 map_.deviceTiming()),
+      gen_(map_, dev_)
+{
+    if (cfg_.timing) {
+        timing_ = *cfg_.timing;
+    } else if (design.bankMode == VbaDesign::adopted().bankMode &&
+               design.pcMode == VbaDesign::adopted().pcMode) {
+        timing_ = romeTableVTiming();
+    } else {
+        timing_ = deriveRomeTiming(base.timing, map_);
+    }
+    if (cfg_.queueDepth == 0) {
+        cfg_.queueDepth = std::max<int>(
+            4, static_cast<int>((16 * 1024) / map_.effectiveRowBytes()));
+    }
+    if (cfg_.queueDepth < 1)
+        fatal("RoMe queue depth must be positive");
+    if (cfg_.operateFsms == 0) {
+        cfg_.operateFsms = static_cast<int>(
+            (timing_.tRDrow + timing_.tR2RS - 1) / timing_.tR2RS);
+    }
+    const int total_vbas = map_.vbasPerSid() *
+                           map_.deviceOrganization().sidsPerChannel;
+    refreshInterval_ = base.timing.tREFIbank / total_vbas;
+    if (cfg_.refreshFsms == 0) {
+        // Average refresh concurrency: one VBA stall per interval.
+        const VbaPlan plan = map_.plan(VbaAddress{0, 0, 0});
+        const Tick stall = base.timing.tRFCpb +
+            (plan.banks.size() == 2 ? base.timing.tRREFD : 0);
+        const double demand = static_cast<double>(stall) /
+                              static_cast<double>(refreshInterval_);
+        cfg_.refreshFsms = std::max(3, static_cast<int>(demand * 1.2) + 1);
+    }
+    opSlots_.resize(static_cast<std::size_t>(cfg_.operateFsms));
+    refSlots_.resize(static_cast<std::size_t>(cfg_.refreshFsms));
+}
+
+VbaAddress
+RomeMc::decodeRow(std::uint64_t addr) const
+{
+    const std::uint64_t chunk = addr / map_.effectiveRowBytes();
+    const auto v = static_cast<std::uint64_t>(map_.vbasPerSid());
+    const auto s = static_cast<std::uint64_t>(
+        map_.deviceOrganization().sidsPerChannel);
+    const auto r = static_cast<std::uint64_t>(map_.rowsPerVba());
+    VbaAddress a;
+    switch (mapOrder_) {
+      case RomeMapOrder::VbaSidRow:
+        a.vba = static_cast<int>(chunk % v);
+        a.sid = static_cast<int>((chunk / v) % s);
+        a.row = static_cast<int>((chunk / (v * s)) % r);
+        break;
+      case RomeMapOrder::SidVbaRow:
+        a.sid = static_cast<int>(chunk % s);
+        a.vba = static_cast<int>((chunk / s) % v);
+        a.row = static_cast<int>((chunk / (s * v)) % r);
+        break;
+      case RomeMapOrder::RowVbaSid:
+        a.row = static_cast<int>(chunk % r);
+        a.vba = static_cast<int>((chunk / r) % v);
+        a.sid = static_cast<int>((chunk / (r * v)) % s);
+        break;
+    }
+    return a;
+}
+
+void
+RomeMc::enqueue(const Request& req)
+{
+    if (req.size == 0)
+        fatal("zero-size request");
+    const std::uint64_t eff = map_.effectiveRowBytes();
+    const std::uint64_t first = req.addr / eff;
+    const std::uint64_t last = (req.addr + req.size - 1) / eff;
+    inflight_[req.id] = ReqState{req.arrival,
+                                 static_cast<int>(last - first + 1)};
+    host_.push_back(req);
+}
+
+void
+RomeMc::pumpArrivals()
+{
+    while (!host_.empty() && host_.front().arrival <= now_) {
+        if (!admitOps())
+            break;
+    }
+}
+
+bool
+RomeMc::admitOps()
+{
+    const Request& req = host_.front();
+    const std::uint64_t eff = map_.effectiveRowBytes();
+    const std::uint64_t first = req.addr / eff;
+    const std::uint64_t last = (req.addr + req.size - 1) / eff;
+    const std::uint64_t total = last - first + 1;
+
+    while (frontChunk_ < total &&
+           queue_.size() + outstanding_.size() <
+               static_cast<std::size_t>(cfg_.queueDepth)) {
+        const std::uint64_t chunk = first + frontChunk_;
+        const std::uint64_t chunk_lo = chunk * eff;
+        const std::uint64_t lo = std::max(chunk_lo, req.addr);
+        const std::uint64_t hi = std::min(chunk_lo + eff,
+                                          req.addr + req.size);
+        RowOp op;
+        op.cmd.kind = req.kind == ReqKind::Read ? RowCmdKind::RdRow
+                                                : RowCmdKind::WrRow;
+        op.cmd.addr = decodeRow(chunk_lo);
+        op.reqId = req.id;
+        op.arrival = req.arrival;
+        op.usefulBytes = hi - lo;
+        queue_.push_back(op);
+        ++frontChunk_;
+    }
+    if (frontChunk_ == total) {
+        host_.pop_front();
+        frontChunk_ = 0;
+        return true;
+    }
+    return false;
+}
+
+bool
+RomeMc::vbaBusy(const VbaAddress& a, Tick at) const
+{
+    const auto busy_in = [&](const std::vector<FsmSlot>& slots) {
+        for (const auto& s : slots) {
+            if (s.busyUntil != kTickInvalid && s.busyUntil > at &&
+                s.vba.sameVba(a)) {
+                return true;
+            }
+        }
+        return false;
+    };
+    return busy_in(opSlots_) || busy_in(refSlots_);
+}
+
+int
+RomeMc::busyCount(const std::vector<FsmSlot>& slots, Tick at) const
+{
+    int n = 0;
+    for (const auto& s : slots)
+        n += s.busyUntil != kTickInvalid && s.busyUntil > at;
+    return n;
+}
+
+void
+RomeMc::retireSlots(Tick at)
+{
+    for (auto* slots : {&opSlots_, &refSlots_}) {
+        for (auto& s : *slots) {
+            if (s.busyUntil != kTickInvalid && s.busyUntil <= at)
+                s.state = VbaState::Idle;
+        }
+    }
+}
+
+Tick
+RomeMc::nextRefreshDue() const
+{
+    return cfg_.refreshEnabled ? refreshDue_ : kTickMax;
+}
+
+VbaState
+RomeMc::vbaState(const VbaAddress& a, Tick at) const
+{
+    for (const auto& s : refSlots_) {
+        if (s.busyUntil != kTickInvalid && s.busyUntil > at &&
+            s.vba.sameVba(a)) {
+            return VbaState::Refreshing;
+        }
+    }
+    for (const auto& s : opSlots_) {
+        if (s.busyUntil != kTickInvalid && s.busyUntil > at &&
+            s.vba.sameVba(a)) {
+            return s.state;
+        }
+    }
+    return VbaState::Idle;
+}
+
+bool
+RomeMc::stepOnce(Tick until)
+{
+    std::erase_if(outstanding_, [&](Tick t) { return t <= now_; });
+    pumpArrivals();
+    retireSlots(now_);
+
+    // --- Refresh: one VBA pair-refresh per interval, rotating (§V-B) ----
+    std::optional<VbaAddress> refresh_target;
+    if (cfg_.refreshEnabled && now_ >= refreshDue_) {
+        const int v = map_.vbasPerSid();
+        VbaAddress t;
+        t.vba = refreshCursor_ % v;
+        t.sid = (refreshCursor_ / v) %
+                map_.deviceOrganization().sidsPerChannel;
+        refresh_target = t;
+        if (!vbaBusy(t, now_) &&
+            busyCount(refSlots_, now_) < cfg_.refreshFsms) {
+            const auto res = gen_.execute({RowCmdKind::Ref, t}, now_);
+            for (auto& s : refSlots_) {
+                if (s.busyUntil == kTickInvalid || s.busyUntil <= now_) {
+                    s = FsmSlot{t, res.vbaReadyAt, VbaState::Refreshing};
+                    break;
+                }
+            }
+            refHighWater_ = std::max(refHighWater_,
+                                     busyCount(refSlots_, now_));
+            ++refreshCursor_;
+            refreshDue_ += refreshInterval_;
+            return true;
+        }
+    }
+
+    // --- Data scheduling: issue the op that can go earliest; ties go to
+    // VBAs other than the last issued one (interleaving), then to age.
+    Tick op_slot_free = kTickMax;
+    for (const auto& s : opSlots_) {
+        op_slot_free = std::min(op_slot_free, s.busyUntil == kTickInvalid
+                                                  ? now_ : s.busyUntil);
+    }
+    op_slot_free = std::max(op_slot_free, now_);
+
+    const RowOp* best = nullptr;
+    std::size_t best_idx = 0;
+    Tick best_at = kTickMax;
+    bool best_diff_vba = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const RowOp& op = queue_[i];
+        if (refresh_target && refresh_target->sameVba(op.cmd.addr))
+            continue; // let the pending refresh win the VBA
+        const bool is_write = op.cmd.kind == RowCmdKind::WrRow;
+        Tick at = op_slot_free;
+        if (lastRowCmdAt_ != kTickInvalid) {
+            const bool same_sid = lastRowCmdSid_ == op.cmd.addr.sid;
+            at = std::max(at, lastRowCmdAt_ +
+                          timing_.gap(lastRowCmdWasWrite_, is_write,
+                                          same_sid));
+        }
+        for (const auto* slots : {&opSlots_, &refSlots_}) {
+            for (const auto& s : *slots) {
+                if (s.busyUntil != kTickInvalid &&
+                    s.vba.sameVba(op.cmd.addr)) {
+                    at = std::max(at, s.busyUntil);
+                }
+            }
+        }
+        const bool diff_vba = !lastRowCmdVba_ ||
+                              !lastRowCmdVba_->sameVba(op.cmd.addr);
+        const bool better =
+            at < best_at ||
+            (at == best_at && diff_vba && !best_diff_vba) ||
+            (at == best_at && diff_vba == best_diff_vba && best &&
+             op.arrival < best->arrival);
+        if (!best || better) {
+            best = &op;
+            best_idx = i;
+            best_at = at;
+            best_diff_vba = diff_vba;
+        }
+    }
+
+    if (best) {
+        const bool is_write = best->cmd.kind == RowCmdKind::WrRow;
+        const Tick at = best_at;
+        if (at > until) {
+            now_ = until;
+            return false;
+        }
+
+        const RowOp op = queue_[best_idx];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best_idx));
+        const auto res = gen_.execute(op.cmd, at);
+        now_ = at;
+        outstanding_.push_back(res.dataUntil);
+
+        for (auto& s : opSlots_) {
+            if (s.busyUntil == kTickInvalid || s.busyUntil <= at) {
+                s = FsmSlot{op.cmd.addr, res.vbaReadyAt,
+                            is_write ? VbaState::Writing
+                                     : VbaState::Reading};
+                break;
+            }
+        }
+        opHighWater_ = std::max(opHighWater_, busyCount(opSlots_, at));
+
+        lastRowCmdAt_ = at;
+        lastRowCmdWasWrite_ = is_write;
+        lastRowCmdSid_ = op.cmd.addr.sid;
+        lastRowCmdVba_ = op.cmd.addr;
+
+        if (is_write)
+            bytesWritten_ += op.usefulBytes;
+        else
+            bytesRead_ += op.usefulBytes;
+        overfetch_ += res.bytes - op.usefulBytes;
+
+        auto it = inflight_.find(op.reqId);
+        if (it == inflight_.end())
+            panic("completion for unknown request");
+        if (--it->second.opsRemaining == 0) {
+            completions_.push_back(Completion{op.reqId, res.dataUntil});
+            latencyNs_.sample(nsFromTicks(res.dataUntil -
+                                          it->second.arrival));
+            inflight_.erase(it);
+        }
+        return true;
+    }
+
+    // --- Nothing issuable: advance to the next event ----------------------
+    Tick next = kTickMax;
+    if (!host_.empty()) {
+        Tick admit_at = std::max(host_.front().arrival, now_ + 1);
+        if (queue_.size() + outstanding_.size() >=
+            static_cast<std::size_t>(cfg_.queueDepth)) {
+            // Admission is queue-bound: wake when the first entry frees.
+            Tick first_free = kTickMax;
+            for (Tick t : outstanding_) {
+                if (t > now_)
+                    first_free = std::min(first_free, t);
+            }
+            admit_at = std::max(admit_at, first_free);
+        }
+        next = std::min(next, admit_at);
+    }
+    // A refresh that is already due but blocked wakes up when a slot frees
+    // (covered by the busyUntil scan below).
+    if (nextRefreshDue() > now_)
+        next = std::min(next, nextRefreshDue());
+    for (const auto* slots : {&opSlots_, &refSlots_}) {
+        for (const auto& s : *slots) {
+            if (s.busyUntil != kTickInvalid && s.busyUntil > now_)
+                next = std::min(next, s.busyUntil);
+        }
+    }
+    if (next == kTickMax || next > until) {
+        now_ = until;
+        return false;
+    }
+    now_ = next;
+    return true;
+}
+
+void
+RomeMc::runUntil(Tick until)
+{
+    while (now_ < until) {
+        if (!stepOnce(until))
+            break;
+    }
+}
+
+Tick
+RomeMc::drain()
+{
+    while (!idle()) {
+        if (!stepOnce(kTickMax - 1))
+            break;
+    }
+    return dev_.lastDataEnd();
+}
+
+bool
+RomeMc::idle() const
+{
+    return host_.empty() && queue_.empty() && inflight_.empty();
+}
+
+double
+RomeMc::achievedBandwidth() const
+{
+    const Tick end = dev_.lastDataEnd();
+    if (end == 0)
+        return 0.0;
+    return static_cast<double>(bytesRead_ + bytesWritten_ + overfetch_) /
+           nsFromTicks(end);
+}
+
+double
+RomeMc::effectiveBandwidth() const
+{
+    const Tick end = dev_.lastDataEnd();
+    if (end == 0)
+        return 0.0;
+    return static_cast<double>(bytesRead_ + bytesWritten_) /
+           nsFromTicks(end);
+}
+
+McComplexity
+RomeMc::complexity() const
+{
+    McComplexity c;
+    c.numTimingParams = RomeTimingParams::kNumMcVisibleParams;
+    c.numBankFsms = cfg_.operateFsms + cfg_.refreshFsms;
+    c.numBankStates = kNumRomeVbaStates;
+    c.pagePolicy = "-";
+    c.schedulingConcerns = {"VBA interleaving"};
+    c.requestQueueDepth = cfg_.queueDepth;
+    return c;
+}
+
+} // namespace rome

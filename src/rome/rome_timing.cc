@@ -1,0 +1,95 @@
+#include "rome/rome_timing.h"
+
+namespace rome
+{
+
+using namespace rome::literals;
+
+namespace
+{
+
+/** Different-SID penalty on row-level gaps (§V-A: 1–2 nCK ⇒ 4 ns). */
+constexpr Tick kSidPenalty = 4 * kTicksPerNs;
+
+} // namespace
+
+RomeTimingParams
+romeTableVTiming()
+{
+    RomeTimingParams p;
+    p.tR2RS = 64_ns;
+    p.tR2RR = 68_ns;
+    p.tR2WS = 69_ns;
+    p.tR2WR = 73_ns;
+    p.tW2RS = 71_ns;
+    p.tW2RR = 75_ns;
+    p.tW2WS = 64_ns;
+    p.tW2WR = 68_ns;
+    p.tRDrow = 95_ns;
+    p.tWRrow = 115_ns;
+    return p;
+}
+
+RomeTimingParams
+deriveRomeTiming(const TimingParams& t, const VbaMap& map)
+{
+    const VbaPlan plan = map.plan(VbaAddress{0, 0, 0});
+    const auto n_banks = static_cast<Tick>(plan.banks.size());
+    const Tick total_cas = n_banks * plan.casPerBank;
+    const bool two_banks = n_banks == 2;
+
+    // Offsets of the fixed sequence relative to the row-command issue
+    // (Figure 9): with two banks, an intentional tRRDS - tCCDS delay before
+    // the first ACT lets the CAS streams interleave at tCCDS.
+    Tick first_cas_off;
+    Tick act_first_off;
+    if (two_banks) {
+        act_first_off = t.tRRDS - plan.casCadence;
+        const Tick act_second = act_first_off + t.tRRDS;
+        first_cas_off = act_second + t.tRCDRD - plan.casCadence;
+    } else {
+        act_first_off = 0;
+        first_cas_off = t.tRCDRD;
+    }
+    const Tick last_cas_off = first_cas_off +
+                              (total_cas - 1) * plan.casCadence;
+
+    // Inter-VBA gaps: the next operation's first CAS chains onto this
+    // operation's last CAS with the command-level CAS gap.
+    const auto inter = [&](Tick cas_gap) {
+        return last_cas_off + cas_gap - first_cas_off;
+    };
+    RomeTimingParams p;
+    p.tR2RS = inter(plan.casCadence);
+    p.tR2WS = inter(t.tRTW);
+    p.tW2RS = inter(t.tWTRS);
+    p.tW2WS = inter(plan.casCadence);
+    p.tR2RR = p.tR2RS + kSidPenalty;
+    p.tR2WR = p.tR2WS + kSidPenalty;
+    p.tW2RR = p.tW2RS + kSidPenalty;
+    p.tW2WR = p.tW2WS + kSidPenalty;
+
+    // Same-VBA busy: every participating bank must precharge and recover
+    // before the next sequence's ACT to it.
+    const auto busy = [&](bool is_write) {
+        Tick worst = 0;
+        for (Tick b = 0; b < n_banks; ++b) {
+            // Bank b's last CAS in the interleaved stream.
+            const Tick last_cas = first_cas_off +
+                b * plan.casCadence +
+                (plan.casPerBank - 1) * plan.sameBankCadence;
+            const Tick act = act_first_off + b * t.tRRDS;
+            const Tick pre = std::max(last_cas + (is_write ? t.tWR : t.tRTP),
+                                      act + t.tRAS);
+            const Tick ready = pre + t.tRP;
+            // The next sequence reaches this bank's ACT at the same offset.
+            worst = std::max(worst, ready - act);
+        }
+        return worst;
+    };
+    p.tRDrow = busy(false);
+    p.tWRrow = busy(true);
+    return p;
+}
+
+} // namespace rome

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RoMe row-level timing parameters (Table III / Table V).
+ *
+ * The RoMe MC tracks only ten parameters: the four command-pair gaps
+ * (read/write × read/write) for different-VBA and different-SID targets,
+ * plus the same-VBA busy times tRD_row and tWR_row. romeTableVTiming()
+ * returns the paper's exact values; deriveRomeTiming() recomputes the
+ * same-SID values from the conventional timing set and the VBA lowering
+ * plan, which the tests use to validate the published numbers.
+ */
+
+#ifndef ROME_ROME_ROME_TIMING_H
+#define ROME_ROME_ROME_TIMING_H
+
+#include "common/types.h"
+#include "dram/timing.h"
+#include "rome/vba.h"
+
+namespace rome
+{
+
+/** Table III parameter set (ticks). */
+struct RomeTimingParams
+{
+    Tick tR2RS = 0; ///< RD_row → RD_row, different VBA (same SID).
+    Tick tR2RR = 0; ///< RD_row → RD_row, different SID.
+    Tick tR2WS = 0; ///< RD_row → WR_row, different VBA.
+    Tick tR2WR = 0; ///< RD_row → WR_row, different SID.
+    Tick tW2RS = 0; ///< WR_row → RD_row, different VBA.
+    Tick tW2RR = 0; ///< WR_row → RD_row, different SID.
+    Tick tW2WS = 0; ///< WR_row → WR_row, different VBA.
+    Tick tW2WR = 0; ///< WR_row → WR_row, different SID.
+    Tick tRDrow = 0; ///< RD_row → RD_row, same VBA (busy time).
+    Tick tWRrow = 0; ///< WR_row → WR_row, same VBA (busy time).
+
+    /** Table IV: the RoMe MC tracks ten timing parameters. */
+    static constexpr int kNumMcVisibleParams = 10;
+
+    /** Gap required between two row commands (by kinds / SID relation). */
+    Tick
+    gap(bool prev_write, bool next_write, bool same_sid) const
+    {
+        if (!prev_write && !next_write)
+            return same_sid ? tR2RS : tR2RR;
+        if (!prev_write && next_write)
+            return same_sid ? tR2WS : tR2WR;
+        if (prev_write && !next_write)
+            return same_sid ? tW2RS : tW2RR;
+        return same_sid ? tW2WS : tW2WR;
+    }
+};
+
+/** The paper's Table V values for the adopted design (exact). */
+RomeTimingParams romeTableVTiming();
+
+/**
+ * First-principles derivation from the conventional timing set and a VBA
+ * lowering plan. Different-SID values add the paper's 4 ns penalty on top
+ * of the same-SID value (§V-A: 1–2 nCK). Same-VBA busy times derive from
+ * the full ACT…CAS…PRE…tRP round trip.
+ */
+RomeTimingParams deriveRomeTiming(const TimingParams& t, const VbaMap& map);
+
+} // namespace rome
+
+#endif // ROME_ROME_ROME_TIMING_H

@@ -1,0 +1,134 @@
+#include "rome/vba.h"
+
+#include "common/log.h"
+
+namespace rome
+{
+
+std::vector<VbaDesign>
+VbaDesign::all()
+{
+    return {
+        {BankMode::InterleavedDiffBg, PcMode::LockstepPcs}, // adopted
+        {BankMode::InterleavedDiffBg, PcMode::SinglePcDouble},
+        {BankMode::TandemSameBg, PcMode::LockstepPcs},
+        {BankMode::TandemSameBg, PcMode::SinglePcDouble},
+        {BankMode::Widened, PcMode::LockstepPcs},
+        {BankMode::Widened, PcMode::SinglePcDouble},
+    };
+}
+
+std::string
+VbaDesign::name() const
+{
+    std::string b;
+    switch (bankMode) {
+      case BankMode::Widened: b = "7b-widened-bank"; break;
+      case BankMode::TandemSameBg: b = "7c-tandem-same-bg"; break;
+      case BankMode::InterleavedDiffBg: b = "7d-interleaved-diff-bg"; break;
+    }
+    const std::string p = pcMode == PcMode::SinglePcDouble
+        ? "8a-single-pc-double" : "8b-lockstep-pcs";
+    std::string n = b + " x " + p;
+    if (bankMode == BankMode::InterleavedDiffBg &&
+        pcMode == PcMode::LockstepPcs) {
+        n += " (adopted)";
+    }
+    return n;
+}
+
+double
+VbaDesign::areaOverheadFraction() const
+{
+    // Widened-structure cost model calibrated to the paper's §IV-B bound:
+    // the worst combination (7b × 8a, a 4× total dataline width) reaches
+    // 77 % bank-area overhead [51]; the adopted 7d × 8b changes nothing.
+    double f = 0.0;
+    if (bankMode == BankMode::Widened) {
+        f += 0.40; // doubled internal bank datalines
+        f += 0.12; // doubled BK-BUS
+    }
+    if (bankMode != BankMode::InterleavedDiffBg)
+        f += 0.15; // doubled I/O ctrl buffer (7b and 7c)
+    if (pcMode == PcMode::SinglePcDouble) {
+        f += 0.08; // doubled BG-BUS
+        f += 0.02; // GBUS multiplexers
+    }
+    return f;
+}
+
+VbaMap::VbaMap(const Organization& base, const TimingParams& base_timing,
+               VbaDesign design)
+    : base_(base), design_(design), devOrg_(base), devTiming_(base_timing)
+{
+    // PC interface (Figure 8).
+    if (design_.pcMode == PcMode::SinglePcDouble) {
+        // One logical PC owns all banks and both PCs' DQ pins; every CAS
+        // fetches double the data through the widened BG-BUS and muxed GBUS.
+        devOrg_.bankGroupsPerSid *= devOrg_.pcsPerChannel;
+        devOrg_.dqPinsPerPc *= devOrg_.pcsPerChannel;
+        devOrg_.pcsPerChannel = 1;
+        devOrg_.columnBytes *= 2;
+    }
+    // Bank side (Figure 7).
+    switch (design_.bankMode) {
+      case BankMode::Widened:
+        // AG_bank doubles; the row itself is unchanged.
+        devOrg_.columnBytes *= 2;
+        break;
+      case BankMode::TandemSameBg:
+        // Two banks of one group respond to each CAS in lock-step: model
+        // the pair as one bank with doubled row and fetch width.
+        devOrg_.banksPerGroup /= 2;
+        devOrg_.rowBytes *= 2;
+        devOrg_.columnBytes *= 2;
+        break;
+      case BankMode::InterleavedDiffBg:
+        break; // no DRAM change (the adopted design)
+    }
+    if (devOrg_.banksPerGroup < 1)
+        fatal("VBA design %s needs at least 2 banks per group",
+              design_.name().c_str());
+    // Burst time follows bytes-per-CAS over the (possibly widened) DQ.
+    devTiming_.tBURST = ticksFromNs(devOrg_.burstNs());
+    if (devOrg_.channelCapacity() != base.channelCapacity())
+        panic("VBA design %s changed channel capacity",
+              design_.name().c_str());
+}
+
+VbaPlan
+VbaMap::plan(const VbaAddress& addr) const
+{
+    checkAddress(addr);
+    VbaPlan p;
+    for (int pc = 0; pc < devOrg_.pcsPerChannel; ++pc)
+        p.pcs.push_back(pc);
+    if (design_.bankMode == BankMode::InterleavedDiffBg) {
+        const int ba = addr.vba % devOrg_.banksPerGroup;
+        const int group = addr.vba / devOrg_.banksPerGroup;
+        p.banks.emplace_back(2 * group, ba);
+        p.banks.emplace_back(2 * group + 1, ba);
+        p.casCadence = devTiming_.tCCDS;
+    } else {
+        const int ba = addr.vba % devOrg_.banksPerGroup;
+        const int bg = addr.vba / devOrg_.banksPerGroup;
+        p.banks.emplace_back(bg, ba);
+        p.casCadence = devTiming_.tCCDL;
+    }
+    p.sameBankCadence = devTiming_.tCCDL;
+    p.casPerBank = devOrg_.columnsPerRow();
+    p.bytesPerCas = devOrg_.columnBytes;
+    return p;
+}
+
+void
+VbaMap::checkAddress(const VbaAddress& a) const
+{
+    if (a.sid < 0 || a.sid >= devOrg_.sidsPerChannel ||
+        a.vba < 0 || a.vba >= vbasPerSid() ||
+        a.row < 0 || a.row >= devOrg_.rowsPerBank) {
+        panic("VBA address out of range: %s", a.str().c_str());
+    }
+}
+
+} // namespace rome

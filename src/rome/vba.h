@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Virtual bank (VBA) organization and its design space (§IV-B).
+ *
+ * A VBA is the unit the RoMe MC schedules: it must deliver the full channel
+ * bandwidth on its own, which removes bank groups and pseudo channels from
+ * the MC–DRAM interface. The paper explores three ways to build the bank
+ * side (Figure 7) and two ways to retire the PC interface (Figure 8):
+ *
+ *  - BankMode::Widened      (7b)  one bank with doubled AG_bank
+ *  - BankMode::TandemSameBg (7c)  two lock-stepped banks of one bank group
+ *  - BankMode::InterleavedDiffBg (7d)  two banks of different bank groups,
+ *                                  time-multiplexed (no DRAM changes)
+ *  - PcMode::SinglePcDouble (8a)  one PC fetches double per CAS, GBUS muxes
+ *  - PcMode::LockstepPcs    (8b)  both PCs operate in tandem (legacy mode)
+ *
+ * RoMe adopts 7d × 8b. Each combination yields a device-view organization
+ * (what the command generator drives) plus a lowering plan (ACT/CAS counts
+ * and cadences per row operation) and a bank-datapath area factor.
+ */
+
+#ifndef ROME_ROME_VBA_H
+#define ROME_ROME_VBA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/address.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+#include "rome/rome_command.h"
+
+namespace rome
+{
+
+/** Figure 7 design points. */
+enum class BankMode { Widened, TandemSameBg, InterleavedDiffBg };
+
+/** Figure 8 design points. */
+enum class PcMode { SinglePcDouble, LockstepPcs };
+
+/** One point in the VBA design space. */
+struct VbaDesign
+{
+    BankMode bankMode = BankMode::InterleavedDiffBg;
+    PcMode pcMode = PcMode::LockstepPcs;
+
+    /** The configuration the paper adopts (7d × 8b). */
+    static VbaDesign
+    adopted()
+    {
+        return VbaDesign{BankMode::InterleavedDiffBg, PcMode::LockstepPcs};
+    }
+
+    /** All six combinations, adopted configuration first. */
+    static std::vector<VbaDesign> all();
+
+    std::string name() const;
+
+    /** Physical banks ganged into one VBA (per participating PC). */
+    int
+    banksPerVba() const
+    {
+        return bankMode == BankMode::Widened ? 1 : 2;
+    }
+
+    /** PCs participating in one row operation. */
+    int
+    pcsPerOp(const Organization& base) const
+    {
+        return pcMode == PcMode::LockstepPcs ? base.pcsPerChannel : 1;
+    }
+
+    /** VBAs per SID as seen by the MC. */
+    int
+    vbasPerSid(const Organization& base) const
+    {
+        const int banks_per_sid = base.banksPerSid() *
+            (pcMode == PcMode::SinglePcDouble ? base.pcsPerChannel : 1);
+        return banks_per_sid / banksPerVba();
+    }
+
+    /** VBAs per channel (Table V: 32 for the adopted configuration). */
+    int
+    vbasPerChannel(const Organization& base) const
+    {
+        return vbasPerSid(base) * base.sidsPerChannel;
+    }
+
+    /** Effective row size = MC access granularity (Table V: 4 KB). */
+    std::uint64_t
+    effectiveRowBytes(const Organization& base) const
+    {
+        // Widening a bank (7b) or a PC fetch (8a) doubles bytes per CAS but
+        // not the row's capacity; the effective row tracks the bank rows a
+        // single operation drains.
+        return base.rowBytes *
+               static_cast<std::uint64_t>(banksPerVba()) *
+               static_cast<std::uint64_t>(pcsPerOp(base));
+    }
+
+    /**
+     * Relative bank-datapath area overhead of the DRAM die (§IV-B).
+     * Composed of the widened structures each mode requires; the worst
+     * combination (7b × 8a) reaches the paper's 77 % [51]; the adopted
+     * 7d × 8b needs no DRAM change (0 %).
+     */
+    double areaOverheadFraction() const;
+};
+
+/**
+ * Lowering plan for one RD_row/WR_row: which physical banks participate and
+ * how many CAS commands at which cadence drain the effective row.
+ */
+struct VbaPlan
+{
+    /** Physical (bg, bank) pairs participating, per involved PC. */
+    std::vector<std::pair<int, int>> banks;
+    /** PCs addressed by every command of the sequence. */
+    std::vector<int> pcs;
+    /** Column commands per participating bank (per PC). */
+    int casPerBank = 0;
+    /** Bytes one CAS moves per addressed PC. */
+    std::uint64_t bytesPerCas = 0;
+    /** CAS cadence of the interleaved stream, in ticks. */
+    Tick casCadence = 0;
+    /** Cadence of consecutive CAS to the same bank, in ticks. */
+    Tick sameBankCadence = 0;
+};
+
+/**
+ * VBA address/lowering helper bound to a base (physical) organization.
+ *
+ * The MC-visible organization differs from the physical one: the generator
+ * always drives the physical channel; deviceOrganization()/deviceTiming()
+ * describe the (possibly widened) physical channel required by the design.
+ */
+class VbaMap
+{
+  public:
+    VbaMap(const Organization& base, const TimingParams& base_timing,
+           VbaDesign design);
+
+    const VbaDesign& design() const { return design_; }
+
+    /** Organization of the physical channel this design requires. */
+    const Organization& deviceOrganization() const { return devOrg_; }
+
+    /** Timing of the physical channel this design requires. */
+    const TimingParams& deviceTiming() const { return devTiming_; }
+
+    /** Number of VBAs per SID. */
+    int vbasPerSid() const { return design_.vbasPerSid(base_); }
+
+    /** Effective row bytes (MC access granularity). */
+    std::uint64_t effectiveRowBytes() const
+    {
+        return design_.effectiveRowBytes(base_);
+    }
+
+    /** Rows per VBA (equals physical rows per bank). */
+    int rowsPerVba() const { return devOrg_.rowsPerBank; }
+
+    /** Lowering plan for a row operation on @p addr. */
+    VbaPlan plan(const VbaAddress& addr) const;
+
+    /** Validate a VBA address (panics when out of range). */
+    void checkAddress(const VbaAddress& a) const;
+
+  private:
+    Organization base_;
+    VbaDesign design_;
+    Organization devOrg_;
+    TimingParams devTiming_;
+};
+
+} // namespace rome
+
+#endif // ROME_ROME_VBA_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Accelerator and system configuration (§VI-A): a B200-class device with
+ * 280 Op/B arithmetic intensity — 4480 BF16 TFLOPS against 8 HBM4 cubes
+ * (16 TB/s, 256 GB) — replicated eight times with an all-to-all
+ * interconnect.
+ */
+
+#ifndef ROME_SIM_ACCEL_CONFIG_H
+#define ROME_SIM_ACCEL_CONFIG_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/hbm4_config.h"
+#include "rome/channel_expansion.h"
+
+namespace rome
+{
+
+/** One accelerator plus the system it lives in. */
+struct AcceleratorConfig
+{
+    double bf16Tflops = 4480.0;
+    int hbmCubes = 8;
+    int numAccelerators = 8;
+    /** Realizable fraction of peak FLOPs for large GEMMs. */
+    double computeEfficiency = 0.85;
+    /** All-to-all link bandwidth per accelerator (GB/s). */
+    double interconnectGBs = 900.0;
+    /** Per-transfer interconnect latency (µs). */
+    double interconnectLatencyUs = 2.0;
+
+    /** Peak memory bandwidth in bytes/ns for @p channels_per_cube. */
+    double
+    memBandwidthBytesPerNs(const Organization& org) const
+    {
+        return org.channelBandwidthBytesPerNs() *
+               static_cast<double>(org.channelsPerCube) *
+               static_cast<double>(hbmCubes);
+    }
+
+    /** Memory capacity in bytes (32 GiB per cube). */
+    std::uint64_t
+    memCapacityBytes(const Organization& org) const
+    {
+        return org.cubeCapacity() * static_cast<std::uint64_t>(hbmCubes);
+    }
+
+    /** Arithmetic intensity (Op/B) against the HBM4 baseline. */
+    double
+    arithmeticIntensity(const Organization& org) const
+    {
+        return bf16Tflops * 1e12 /
+               (memBandwidthBytesPerNs(org) * 1e9);
+    }
+};
+
+/** Which memory system feeds the accelerator. */
+enum class MemorySystem { Hbm4, RoMe };
+
+/** Organization of the chosen memory system (RoMe adds four channels). */
+inline Organization
+memOrganization(MemorySystem sys)
+{
+    Organization org = hbm4Config().org;
+    if (sys == MemorySystem::RoMe)
+        org = ChannelExpansion{}.expand(org);
+    return org;
+}
+
+} // namespace rome
+
+#endif // ROME_SIM_ACCEL_CONFIG_H

@@ -1,0 +1,162 @@
+#include "sim/memsim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+
+namespace rome
+{
+
+namespace
+{
+
+/** One sequential stream with a finite region, rebasing when exhausted. */
+struct Stream
+{
+    std::uint64_t base = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t region = 0;
+};
+
+/** Generate the interleaved two-class multi-stream request list. */
+std::vector<Request>
+buildRequests(const ChannelWorkloadProfile& p, bool uniform_rows,
+              std::uint64_t row_bytes, std::uint64_t capacity)
+{
+    Rng rng(p.seed);
+    // When uniform_rows is set (RoMe), every request is one effective row:
+    // the MC receives the same bulk accesses, split at row granularity by
+    // its own interleaving.
+    const std::uint64_t large_req = uniform_rows ? row_bytes
+                                                 : p.largeRequestBytes;
+    const std::uint64_t small_req = uniform_rows ? row_bytes
+                                                 : p.smallRequestBytes;
+    std::vector<Stream> large(static_cast<std::size_t>(p.largeStreams));
+    std::vector<Stream> small(static_cast<std::size_t>(p.smallStreams));
+    const auto rebase = [&](Stream& s, std::uint64_t align) {
+        s.base = rng.below(capacity - p.streamBytes) / align * align;
+        s.offset = 0;
+        s.region = p.streamBytes;
+    };
+    for (auto& s : large)
+        rebase(s, large_req);
+    for (auto& s : small)
+        rebase(s, small_req);
+
+    std::vector<Request> reqs;
+    std::uint64_t id = 1;
+    std::uint64_t emitted = 0;
+    std::size_t lturn = 0;
+    std::size_t sturn = 0;
+    while (emitted < p.totalBytes) {
+        const bool pick_small = rng.uniform() < p.smallFraction;
+        auto& pool = pick_small ? small : large;
+        const std::uint64_t req = pick_small ? small_req : large_req;
+        auto& turn = pick_small ? sturn : lturn;
+        Stream& s = pool[turn];
+        turn = (turn + 1) % pool.size();
+        if (s.offset + req > s.region)
+            rebase(s, req);
+        const bool write = rng.uniform() < p.writeFraction;
+        reqs.push_back(Request{id++, write ? ReqKind::Write : ReqKind::Read,
+                               s.base + s.offset, req, 0});
+        s.offset += req;
+        emitted += req;
+    }
+    return reqs;
+}
+
+} // namespace
+
+ChannelCalibration
+calibrateChannel(MemorySystem sys, const ChannelWorkloadProfile& profile)
+{
+    const DramConfig dram = hbm4Config();
+    const double peak = dram.org.channelBandwidthBytesPerNs();
+    ChannelCalibration out;
+
+    if (sys == MemorySystem::Hbm4) {
+        ConventionalMc mc(dram, bestBaselineMapping(dram.org), McConfig{});
+        for (const auto& r : buildRequests(profile, false, 4096,
+                                           dram.org.channelCapacity())) {
+            mc.enqueue(r);
+        }
+        mc.drain();
+        const auto& c = mc.device().counters();
+        const double kib =
+            static_cast<double>(mc.bytesRead() + mc.bytesWritten()) / 1024.0;
+        out.utilization = mc.achievedBandwidth() / peak;
+        out.actsPerKib = static_cast<double>(c.acts.value()) / kib;
+        out.casPerKib = static_cast<double>(c.colCmds.value()) / kib;
+        // Conventional MCs drive every DRAM command over the interface.
+        out.interfaceCmdsPerKib =
+            static_cast<double>(c.rowCmds.value() + c.colCmds.value()) /
+            kib;
+        out.refreshPerKib = static_cast<double>(c.refPbs.value()) / kib;
+        return out;
+    }
+
+    RomeMc mc(dram, VbaDesign::adopted(), RomeMcConfig{});
+    for (const auto& r : buildRequests(profile, true,
+                                       mc.vbaMap().effectiveRowBytes(),
+                                       dram.org.channelCapacity())) {
+        mc.enqueue(r);
+    }
+    mc.drain();
+    const auto& c = mc.device().counters();
+    const double useful =
+        static_cast<double>(mc.bytesRead() + mc.bytesWritten());
+    const double kib = (useful + static_cast<double>(mc.overfetchBytes())) /
+                       1024.0;
+    out.utilization = mc.effectiveBandwidth() / peak;
+    out.actsPerKib = static_cast<double>(c.acts.value()) / kib;
+    out.casPerKib = static_cast<double>(c.colCmds.value()) / kib;
+    // Only row-level commands cross the MC↔HBM interface (REF counts too);
+    // the command generator expands them on the logic die.
+    out.interfaceCmdsPerKib =
+        static_cast<double>(mc.generator().rowCommandsAccepted()) / kib;
+    out.refreshPerKib = static_cast<double>(c.refPbs.value()) / kib;
+    out.overfetchFraction = static_cast<double>(mc.overfetchBytes()) /
+                            std::max(1.0, useful);
+    return out;
+}
+
+ChannelWorkloadProfile
+profileFor(const LlmConfig& model)
+{
+    ChannelWorkloadProfile p;
+    if (model.attention == AttentionKind::Mla) {
+        // DeepSeek-V3: DP attention gathers one latent cache per local
+        // sequence and MoE reads many 2048-wide experts — a large share of
+        // small interleaved pieces.
+        p.largeStreams = 4;
+        p.largeRequestBytes = 8192;
+        p.smallStreams = 24;
+        p.smallRequestBytes = 1024;
+        p.smallFraction = 0.42;
+        p.streamBytes = 32 * 1024;
+    } else if (model.ffn == FfnKind::Moe) {
+        // Grok 1: eight large experts, TP-sharded GQA attention; KV pieces
+        // are one head wide.
+        p.largeStreams = 6;
+        p.largeRequestBytes = 8192;
+        p.smallStreams = 8;
+        p.smallRequestBytes = 2048;
+        p.smallFraction = 0.08;
+        p.streamBytes = 64 * 1024;
+    } else {
+        // Llama 3: few very large dense tensors plus TP-sharded KV pieces.
+        p.largeStreams = 4;
+        p.largeRequestBytes = 8192;
+        p.smallStreams = 8;
+        p.smallRequestBytes = 2048;
+        p.smallFraction = 0.10;
+        p.streamBytes = 128 * 1024;
+    }
+    return p;
+}
+
+} // namespace rome

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Effective-bandwidth calibration: drives the cycle-accurate channel MCs
+ * (conventional and RoMe) with per-channel traffic shaped like one
+ * accelerator's share of an LLM forward pass, and extracts utilization and
+ * per-KiB command rates for the TPOT and energy models.
+ *
+ * The workload is a set of concurrent sequential streams (tensors being
+ * fetched) whose per-channel request sizes follow the system's interleaving:
+ * the baseline scatters tensors at cache-line-grade granularity, so each
+ * channel sees small per-tensor pieces; RoMe interleaves whole 4 KB rows.
+ * Interleaved small pieces are what cost the baseline extra row activations
+ * (bank conflicts between streams) — the mechanism behind Fig 14's ACT
+ * energy gap.
+ */
+
+#ifndef ROME_SIM_MEMSIM_H
+#define ROME_SIM_MEMSIM_H
+
+#include <cstdint>
+
+#include "llm/model_config.h"
+#include "sim/accel_config.h"
+
+namespace rome
+{
+
+/**
+ * Shape of one channel's traffic during decode: a mix of large streams
+ * (weight matrices) and small-piece streams (per-sequence KV gathers,
+ * activations, small experts). Request sizes are per-channel shares after
+ * system-level interleaving.
+ */
+struct ChannelWorkloadProfile
+{
+    /** Concurrently fetched large tensors. */
+    int largeStreams = 4;
+    /** Per-channel bytes of one large-stream request. */
+    std::uint64_t largeRequestBytes = 8192;
+    /** Concurrently gathered small tensors. */
+    int smallStreams = 8;
+    /** Per-channel bytes of one small-stream request. */
+    std::uint64_t smallRequestBytes = 2048;
+    /** Fraction of traffic coming from the small-piece streams. */
+    double smallFraction = 0.2;
+    /** Contiguous per-channel bytes of one stream before it rebases. */
+    std::uint64_t streamBytes = 64 * 1024;
+    /** Fraction of write traffic (KV appends, activations out). */
+    double writeFraction = 0.05;
+    /** Total bytes to simulate (per channel). */
+    std::uint64_t totalBytes = 8 * 1024 * 1024;
+    std::uint64_t seed = 1;
+};
+
+/** Calibration outputs consumed by the TPOT and energy models. */
+struct ChannelCalibration
+{
+    /** Achieved / peak bandwidth. */
+    double utilization = 0.0;
+    /** Row activations per KiB transferred. */
+    double actsPerKib = 0.0;
+    /** Column (CAS) commands per KiB. */
+    double casPerKib = 0.0;
+    /** Commands crossing the MC↔HBM C/A interface per KiB. */
+    double interfaceCmdsPerKib = 0.0;
+    /** REFpb commands per KiB. */
+    double refreshPerKib = 0.0;
+    /** Fraction of transferred bytes that were overfetch (RoMe only). */
+    double overfetchFraction = 0.0;
+};
+
+/**
+ * Simulate @p profile on one channel of @p sys and extract calibration.
+ * Both MCs run with the paper's configurations (FR-FCFS open-page 64-entry
+ * queue vs. the RoMe MC).
+ */
+ChannelCalibration calibrateChannel(MemorySystem sys,
+                                    const ChannelWorkloadProfile& profile);
+
+/**
+ * Per-model traffic shape. The stream concurrency and per-channel piece
+ * sizes are derived from each model's dominant decode tensors (see
+ * DESIGN.md): DeepSeek-V3's DP attention gathers many small latent-cache
+ * pieces and small experts, Grok 1 and Llama 3 stream fewer, larger
+ * tensors.
+ */
+ChannelWorkloadProfile profileFor(const LlmConfig& model);
+
+} // namespace rome
+
+#endif // ROME_SIM_MEMSIM_H

@@ -1,0 +1,115 @@
+#include "sim/tpot.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+double
+overfetchFactor(const LlmOp& op, std::uint64_t row_bytes)
+{
+    std::uint64_t asked = 0;
+    std::uint64_t fetched = 0;
+    for (const auto e : op.readExtents) {
+        asked += e;
+        fetched += (e + row_bytes - 1) / row_bytes * row_bytes;
+    }
+    if (asked == 0)
+        return 1.0;
+    // Extents stand for the op's weight + KV reads; activations and writes
+    // are assumed row-packed by the allocator.
+    const double read_bytes =
+        static_cast<double>(op.weightBytes + op.kvReadBytes);
+    const double amp = static_cast<double>(fetched) /
+                       static_cast<double>(asked);
+    const double total = static_cast<double>(op.totalBytes());
+    if (total <= 0.0)
+        return 1.0;
+    return (read_bytes * amp + (total - read_bytes)) / total;
+}
+
+TpotResult
+evaluateStep(const LlmConfig& model, const Workload& wl,
+             const Parallelism& par, const SystemEvalConfig& sys)
+{
+    const Organization org = memOrganization(sys.memSystem);
+    const double bw = sys.accel.memBandwidthBytesPerNs(org) *
+                      sys.memUtilization;
+    const double flops_per_ns =
+        sys.accel.bf16Tflops * 1e3 * sys.accel.computeEfficiency;
+
+    const auto ops = buildOpGraph(model, wl, par);
+
+    TpotResult res;
+    const int total_channels = org.channelsPerCube * sys.accel.hbmCubes;
+    res.lbrAttention = categoryLbr(ops, OpCategory::Attention,
+                                   total_channels, sys.lbrGranularity);
+    res.lbrFfn = categoryLbr(ops, OpCategory::Ffn, total_channels,
+                             sys.lbrGranularity);
+    res.traffic = summarize(ops);
+
+    const std::uint64_t row_bytes = 4096;
+    double mem_bound_ns = 0.0;
+    double total_op_ns = 0.0;
+    for (const auto& op : ops) {
+        double bytes = static_cast<double>(op.totalBytes());
+        double lbr = 1.0;
+        switch (op.category) {
+          case OpCategory::Attention: lbr = res.lbrAttention; break;
+          case OpCategory::Ffn: lbr = res.lbrFfn; break;
+          case OpCategory::Other: lbr = 1.0; break;
+        }
+        if (sys.memSystem == MemorySystem::RoMe)
+            bytes *= overfetchFactor(op, row_bytes);
+        const double mem_ns = bytes / (bw * std::max(lbr, 1e-9));
+        const double comp_ns = op.flops / flops_per_ns;
+        const double op_ns = std::max(mem_ns, comp_ns);
+        total_op_ns += op_ns;
+        if (mem_ns >= comp_ns)
+            mem_bound_ns += op_ns;
+        const double op_ms = op_ns * 1e-6;
+        switch (op.category) {
+          case OpCategory::Attention: res.attentionMs += op_ms; break;
+          case OpCategory::Ffn: res.ffnMs += op_ms; break;
+          case OpCategory::Other: res.otherMs += op_ms; break;
+        }
+    }
+    res.memBoundFraction = total_op_ns > 0 ? mem_bound_ns / total_op_ns
+                                           : 0.0;
+
+    // --- Interconnect: TP all-reduce per layer + MoE dispatch -------------
+    const double link_bytes_per_ns = sys.accel.interconnectGBs;
+    const double hop_ns = sys.accel.interconnectLatencyUs * 1e3;
+    const int n = par.numAccelerators;
+    const auto b = static_cast<double>(model.bytesPerParam);
+    const double tokens = wl.stage == Stage::Decode
+        ? static_cast<double>(wl.batch)
+        : static_cast<double>(wl.batch) * static_cast<double>(wl.seqLen);
+    double comm_ns = 0.0;
+    if (par.tpAttention > 1 && n > 1) {
+        // Ring all-reduce of the attention output, once per layer.
+        const double bytes = 2.0 * (n - 1) / n * tokens *
+                             static_cast<double>(model.dModel) * b;
+        comm_ns += (bytes / link_bytes_per_ns + hop_ns) * model.numLayers;
+    }
+    if (model.ffn == FfnKind::Moe && par.expertParallel && n > 1) {
+        // All-to-all token dispatch and return for routed experts.
+        const double routed = tokens *
+            static_cast<double>(model.moe->topK) * (n - 1) / n;
+        const double bytes = 2.0 * routed *
+                             static_cast<double>(model.dModel) * b;
+        comm_ns += (bytes / link_bytes_per_ns + hop_ns) * model.numLayers;
+    } else if (par.tpFfn > 1 && n > 1) {
+        const double bytes = 2.0 * (n - 1) / n * tokens *
+                             static_cast<double>(model.dModel) * b;
+        comm_ns += (bytes / link_bytes_per_ns + hop_ns) * model.numLayers;
+    }
+    res.commMs = comm_ns * 1e-6;
+
+    res.totalMs = res.attentionMs + res.ffnMs + res.otherMs + res.commMs;
+    return res;
+}
+
+} // namespace rome

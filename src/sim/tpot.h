@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end step-time (TPOT) evaluation (Figure 12).
+ *
+ * Every operator of the forward pass is timed as
+ * max(compute, memory) with
+ *   compute = FLOPs / (peak BF16 × efficiency)
+ *   memory  = bytes(+overfetch) / (peak BW × utilization × LBR)
+ * where utilization comes from the cycle-accurate channel calibration and
+ * LBR from the channel-load model. TP all-reduces and MoE all-to-all
+ * dispatch add interconnect time. Decode TPOT is the sum over operators —
+ * one output token per step.
+ */
+
+#ifndef ROME_SIM_TPOT_H
+#define ROME_SIM_TPOT_H
+
+#include "llm/kv_cache.h"
+#include "llm/layer_graph.h"
+#include "sim/accel_config.h"
+#include "sim/memsim.h"
+#include "sim/traffic.h"
+
+namespace rome
+{
+
+/** One fully-specified system to evaluate. */
+struct SystemEvalConfig
+{
+    AcceleratorConfig accel;
+    MemorySystem memSystem = MemorySystem::Hbm4;
+    /** Channel utilization (from calibrateChannel). */
+    double memUtilization = 0.9;
+    /** Channel-interleave granularity for the LBR model. */
+    std::uint64_t lbrGranularity = 256;
+
+    /** Build for @p sys using @p calib. */
+    static SystemEvalConfig
+    forSystem(MemorySystem sys, const ChannelCalibration& calib)
+    {
+        SystemEvalConfig c;
+        c.memSystem = sys;
+        c.memUtilization = calib.utilization;
+        c.lbrGranularity = sys == MemorySystem::RoMe ? 4096 : 256;
+        return c;
+    }
+};
+
+/** Step-time result with the Figure 12 breakdown. */
+struct TpotResult
+{
+    double totalMs = 0.0;
+    double attentionMs = 0.0;
+    double ffnMs = 0.0;
+    double otherMs = 0.0;
+    double commMs = 0.0;
+    /** Fraction of operator time that was memory-bound. */
+    double memBoundFraction = 0.0;
+    /** Per-category channel load balance (Fig 13). */
+    double lbrAttention = 1.0;
+    double lbrFfn = 1.0;
+    TrafficSummary traffic;
+};
+
+/** Evaluate one decode/prefill step of @p model on @p sys. */
+TpotResult evaluateStep(const LlmConfig& model, const Workload& wl,
+                        const Parallelism& par, const SystemEvalConfig& sys);
+
+/** RoMe read amplification of an operator (extents rounded to rows). */
+double overfetchFactor(const LlmOp& op, std::uint64_t row_bytes);
+
+} // namespace rome
+
+#endif // ROME_SIM_TPOT_H

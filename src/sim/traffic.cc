@@ -1,0 +1,90 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+ChannelLoadModel::ChannelLoadModel(int num_channels,
+                                   std::uint64_t granularity)
+    : loads_(static_cast<std::size_t>(num_channels), 0),
+      granularity_(granularity)
+{
+    if (num_channels < 1 || granularity < 1)
+        fatal("channel load model needs channels and granularity");
+}
+
+void
+ChannelLoadModel::addExtent(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const auto n = static_cast<std::uint64_t>(loads_.size());
+    const std::uint64_t chunks = (bytes + granularity_ - 1) / granularity_;
+    const std::uint64_t per_channel = chunks / n;
+    const std::uint64_t leftover = chunks % n;
+    for (std::size_t c = 0; c < loads_.size(); ++c)
+        loads_[c] += per_channel * granularity_;
+    // The first `leftover` channels after the rotating cursor receive one
+    // extra chunk; the final chunk may be partial.
+    for (std::uint64_t i = 0; i < leftover; ++i) {
+        const auto c = static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(cursor_) + i) % n);
+        loads_[c] += granularity_;
+    }
+    // Trim the rounding excess from the very last chunk touched.
+    const std::uint64_t excess = chunks * granularity_ - bytes;
+    const auto last = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(cursor_) +
+         (leftover == 0 ? n : leftover) - 1) % n);
+    loads_[last] -= std::min(loads_[last], excess);
+    cursor_ = static_cast<int>(
+        (static_cast<std::uint64_t>(cursor_) + std::max<std::uint64_t>(
+             leftover, 1)) % n);
+    total_ += bytes;
+}
+
+double
+ChannelLoadModel::lbr() const
+{
+    std::uint64_t max = 0;
+    std::uint64_t sum = 0;
+    for (const auto l : loads_) {
+        max = std::max(max, l);
+        sum += l;
+    }
+    if (max == 0)
+        return 0.0;
+    const double mean = static_cast<double>(sum) /
+                        static_cast<double>(loads_.size());
+    return mean / static_cast<double>(max);
+}
+
+double
+categoryLbr(const std::vector<LlmOp>& ops, OpCategory cat,
+            int num_channels, std::uint64_t granularity)
+{
+    // One operator's duration is set by its most-loaded channel, so the
+    // category LBR is the time-weighted harmonic aggregate of per-op LBRs:
+    // sum(bytes) / sum(bytes / lbr_op).
+    double bytes_total = 0.0;
+    double weighted_time = 0.0;
+    for (const auto& op : ops) {
+        if (op.category != cat || op.readExtents.empty())
+            continue;
+        ChannelLoadModel model(num_channels, granularity);
+        for (const auto e : op.readExtents)
+            model.addExtent(e);
+        const double lbr = model.lbr();
+        if (lbr <= 0.0)
+            continue;
+        const auto b = static_cast<double>(model.totalBytes());
+        bytes_total += b;
+        weighted_time += b / lbr;
+    }
+    return weighted_time > 0.0 ? bytes_total / weighted_time : 1.0;
+}
+
+} // namespace rome

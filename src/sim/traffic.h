@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tensor-extent → memory-channel load distribution and the channel Load
+ * Balance Rate (LBR, Figure 13).
+ *
+ * A system interleaves physical addresses across channels at a fixed
+ * granularity: cache-line-grade for the HBM4 baseline, one effective row
+ * (4 KB) for RoMe. A tensor of a given size therefore lands on channels in
+ * whole chunks; small or odd-sized tensors leave some channels with one
+ * chunk more than others. LBR = mean(channel bytes) / max(channel bytes);
+ * 1.0 is perfectly balanced.
+ */
+
+#ifndef ROME_SIM_TRAFFIC_H
+#define ROME_SIM_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/layer_graph.h"
+
+namespace rome
+{
+
+/** Accumulates per-channel byte loads from tensor extents. */
+class ChannelLoadModel
+{
+  public:
+    /**
+     * @param num_channels System-wide channels (cubes × channels/cube).
+     * @param granularity  Interleaving chunk bytes (HBM4: 256 B; RoMe: the
+     *                     4 KB effective row).
+     */
+    ChannelLoadModel(int num_channels, std::uint64_t granularity);
+
+    /** Spread one contiguous tensor of @p bytes across the channels. */
+    void addExtent(std::uint64_t bytes);
+
+    /** Total accumulated bytes. */
+    std::uint64_t totalBytes() const { return total_; }
+
+    /** mean / max channel load (1.0 = balanced; 0 when empty). */
+    double lbr() const;
+
+    const std::vector<std::uint64_t>& loads() const { return loads_; }
+
+  private:
+    std::vector<std::uint64_t> loads_;
+    std::uint64_t granularity_;
+    std::uint64_t total_ = 0;
+    /** Rotating start channel so consecutive tensors don't stack tails. */
+    int cursor_ = 0;
+};
+
+/**
+ * LBR of one operator category over a full forward pass: every op's read
+ * extents feed one load model.
+ */
+double categoryLbr(const std::vector<LlmOp>& ops, OpCategory cat,
+                   int num_channels, std::uint64_t granularity);
+
+} // namespace rome
+
+#endif // ROME_SIM_TRAFFIC_H

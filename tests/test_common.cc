@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the common substrate: tick arithmetic, stats primitives,
+ * deterministic RNG, the event queue kernel, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/log.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace rome
+{
+namespace
+{
+
+using namespace rome::literals;
+
+TEST(Types, TickLiteralsAreExact)
+{
+    EXPECT_EQ(1_ns, kTicksPerNs);
+    EXPECT_EQ(16_ns, 16 * kTicksPerNs);
+    EXPECT_EQ(ticksFromNs(0.25), 1);
+    EXPECT_EQ(ticksFromNs(0.5), 2);
+    EXPECT_EQ(ticksFromNs(static_cast<std::int64_t>(45)), 45_ns);
+    EXPECT_DOUBLE_EQ(nsFromTicks(45_ns), 45.0);
+    EXPECT_EQ(1_us, 1000_ns);
+    EXPECT_EQ(3.9_us, ticksFromNs(3900.0));
+    EXPECT_EQ(32_ms, 32'000'000 * kTicksPerNs);
+}
+
+TEST(Types, ByteLiterals)
+{
+    EXPECT_EQ(32_B, 32u);
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(32_GiB, 32ull << 30);
+}
+
+TEST(Types, BandwidthHelper)
+{
+    // 8 Gbps pin -> 1 B/ns.
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerNs(8.0), 1.0);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Stats, Log2HistogramBuckets)
+{
+    Log2Histogram h;
+    h.sample(1);    // bucket 0
+    h.sample(2);    // bucket 1
+    h.sample(3);    // bucket 1
+    h.sample(1024); // bucket 10
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(10), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_EQ(h.minSample(), 1u);
+    EXPECT_EQ(h.maxSample(), 1024u);
+}
+
+TEST(Stats, StatGroupReportsRegisteredCounters)
+{
+    Counter reads, writes;
+    reads.inc(7);
+    StatGroup g("mc");
+    g.addCounter("num_reads", &reads);
+    g.addCounter("num_writes", &writes);
+    auto values = g.counterValues();
+    EXPECT_EQ(values.at("num_reads"), 7u);
+    EXPECT_EQ(values.at("num_writes"), 0u);
+    EXPECT_NE(g.report().find("num_reads"), std::string::npos);
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(37), 37u);
+}
+
+TEST(Random, UniformCoversUnitInterval)
+{
+    Rng r(11);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Rng r(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.between(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50);
+    EXPECT_EQ(q.nextEventTick(), 100);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_THROW(q.schedule(5, [] {}), std::logic_error);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("| alpha |"), std::string::npos);
+    EXPECT_NE(s.find("| 22222 |"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::bytes(512), "512 B");
+    EXPECT_EQ(Table::bytes(4096), "4.00 KiB");
+    EXPECT_EQ(Table::bytes(12ull << 20), "12.00 MiB");
+    EXPECT_EQ(Table::percent(0.125), "12.5 %");
+}
+
+TEST(Log, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("bad config {}", 1), std::runtime_error);
+    EXPECT_THROW(panic("bug {}", 2), std::logic_error);
+}
+
+} // namespace
+} // namespace rome

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Workload-model tests: parameter counts of the three models against their
+ * published sizes, KV-cache math, the paper's capacity-limited maximum
+ * batches (Fig 12: 1024 / 512 / 256), MoE routing statistics, and operator
+ * graph consistency (roofline intensities, traffic, categories).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "llm/kv_cache.h"
+#include "llm/layer_graph.h"
+#include "llm/model_config.h"
+#include "llm/moe.h"
+#include "llm/parallelism.h"
+
+namespace rome
+{
+namespace
+{
+
+using namespace rome::literals;
+
+TEST(ModelConfig, ParameterCountsMatchPublishedSizes)
+{
+    EXPECT_NEAR(static_cast<double>(deepseekV3().totalParams()), 671e9,
+                10e9);
+    EXPECT_NEAR(static_cast<double>(grok1().totalParams()), 314e9, 8e9);
+    EXPECT_NEAR(static_cast<double>(llama3_405b().totalParams()), 405e9,
+                6e9);
+}
+
+TEST(ModelConfig, HiddenDimensionsMatchSectionVIB)
+{
+    // §VI-B quotes the attention hidden dims and FFN intermediate dims.
+    EXPECT_EQ(deepseekV3().dModel, 7168);
+    EXPECT_EQ(grok1().dModel, 6144);
+    EXPECT_EQ(llama3_405b().dModel, 16384);
+    EXPECT_EQ(deepseekV3().moe->moeIntermediate, 2048);
+    EXPECT_EQ(grok1().moe->moeIntermediate, 32768);
+    EXPECT_EQ(llama3_405b().ffnIntermediate, 53248);
+}
+
+TEST(ModelConfig, KvBytesPerToken)
+{
+    // MLA latent (512+64 elements, BF16); GQA: 2 x 8 heads x 128 (BF16).
+    EXPECT_EQ(deepseekV3().kvBytesPerTokenPerLayer(), 1152u);
+    EXPECT_EQ(grok1().kvBytesPerTokenPerLayer(), 4096u);
+    EXPECT_EQ(llama3_405b().kvBytesPerTokenPerLayer(), 4096u);
+}
+
+TEST(ModelConfig, MoeShapes)
+{
+    const LlmConfig ds = deepseekV3();
+    EXPECT_EQ(ds.moe->numRoutedExperts, 256);
+    EXPECT_EQ(ds.moe->topK, 8);
+    EXPECT_FALSE(ds.layerIsMoe(0)); // three leading dense layers
+    EXPECT_FALSE(ds.layerIsMoe(2));
+    EXPECT_TRUE(ds.layerIsMoe(3));
+    const LlmConfig gk = grok1();
+    EXPECT_EQ(gk.moe->numRoutedExperts, 8);
+    EXPECT_EQ(gk.moe->topK, 2);
+    EXPECT_TRUE(gk.layerIsMoe(0));
+    EXPECT_FALSE(llama3_405b().layerIsMoe(0));
+}
+
+TEST(KvCache, MaxBatchesReproduceFigure12)
+{
+    // 8 accelerators x 256 GB, sequence length 8 K.
+    const std::uint64_t cap = 256_GiB;
+    const int seq = 8192;
+    EXPECT_EQ(maxBatch(deepseekV3(),
+                       paperParallelism(deepseekV3(), Stage::Decode), seq,
+                       cap),
+              1024);
+    EXPECT_EQ(maxBatch(grok1(), paperParallelism(grok1(), Stage::Decode),
+                       seq, cap),
+              512);
+    EXPECT_EQ(maxBatch(llama3_405b(),
+                       paperParallelism(llama3_405b(), Stage::Decode), seq,
+                       cap),
+              256);
+}
+
+TEST(KvCache, WeightsPerAcceleratorAreSensible)
+{
+    // Llama 3 under TP=8: ~811 GB / 8.
+    const auto w = weightBytesPerAccelerator(
+        llama3_405b(), paperParallelism(llama3_405b(), Stage::Decode));
+    EXPECT_NEAR(static_cast<double>(w), 811e9 / 8, 3e9);
+    // DeepSeek-V3 replicates attention under DP, so its share exceeds an
+    // even 1/8 split of total weights.
+    const auto ds = weightBytesPerAccelerator(
+        deepseekV3(), paperParallelism(deepseekV3(), Stage::Decode));
+    EXPECT_GT(static_cast<double>(ds),
+              static_cast<double>(deepseekV3().totalWeightBytes()) / 8);
+}
+
+TEST(Moe, ExpectedCoverageFormula)
+{
+    // Grok: top-2 of 8; by batch 8 nearly all experts are active (§VI-B).
+    EXPECT_GT(expectedExpertCoverage(8, 2, 8), 0.88);
+    // DeepSeek: top-8 of 256; coverage ramps around batch 64.
+    EXPECT_LT(expectedExpertCoverage(256, 8, 8), 0.25);
+    EXPECT_NEAR(expectedExpertCoverage(256, 8, 64), 0.868, 0.01);
+    EXPECT_GT(expectedExpertCoverage(256, 8, 512), 0.999);
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(expectedExpertCoverage(8, 2, 0), 0.0);
+}
+
+TEST(Moe, SamplingMatchesExpectation)
+{
+    Rng rng(7);
+    const MoeConfig moe{256, 8, 1, 2048, 0, 0};
+    const int batch = 64;
+    double mean_active = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        const MoeRouting r = sampleRouting(moe, batch, rng);
+        int total = 0;
+        for (int v : r.tokensPerExpert)
+            total += v;
+        ASSERT_EQ(total, batch * moe.topK); // every token routed top-k
+        mean_active += r.activeExperts();
+    }
+    mean_active /= trials;
+    EXPECT_NEAR(mean_active / 256.0, expectedExpertCoverage(256, 8, batch),
+                0.02);
+}
+
+TEST(Moe, PerAcceleratorAccounting)
+{
+    Rng rng(11);
+    const MoeConfig moe{256, 8, 0, 2048, 0, 0};
+    const MoeRouting r = sampleRouting(moe, 128, rng);
+    int tokens = 0, experts = 0;
+    for (int a = 0; a < 8; ++a) {
+        tokens += r.tokensOnAccelerator(a, 8);
+        experts += r.activeExpertsOnAccelerator(a, 8);
+    }
+    EXPECT_EQ(tokens, 128 * 8);
+    EXPECT_EQ(experts, r.activeExperts());
+    EXPECT_GE(r.maxTokensPerAccelerator(8) * 8, 128 * 8);
+}
+
+TEST(OpGraph, DecodeIsMemoryBoundPrefillIsComputeBound)
+{
+    for (const auto& model : evaluatedModels()) {
+        const auto dec = summarize(buildOpGraph(
+            model, Workload{Stage::Decode, 64, 8192, 1},
+            paperParallelism(model, Stage::Decode)));
+        const double dec_intensity =
+            dec.flops / static_cast<double>(dec.totalBytes());
+        EXPECT_LT(dec_intensity, 280.0) << model.name; // B200-class Op/B
+
+        const auto pre = summarize(buildOpGraph(
+            model, Workload{Stage::Prefill, 1, 8192, 1},
+            paperParallelism(model, Stage::Prefill)));
+        const double pre_intensity =
+            pre.flops / static_cast<double>(pre.totalBytes());
+        EXPECT_GT(pre_intensity, 280.0) << model.name;
+    }
+}
+
+TEST(OpGraph, LlamaDecodeTouchesAllLocalWeights)
+{
+    const LlmConfig model = llama3_405b();
+    const auto par = paperParallelism(model, Stage::Decode);
+    const auto ops = buildOpGraph(model, Workload{Stage::Decode, 8, 8192, 1},
+                                  par);
+    const auto s = summarize(ops);
+    const auto resident = weightBytesPerAccelerator(model, par);
+    // Dense model: every decode step streams the whole local weight set
+    // (embedding gather excluded; it reads only per-token rows).
+    EXPECT_NEAR(static_cast<double>(s.weightBytes),
+                static_cast<double>(resident),
+                0.02 * static_cast<double>(resident));
+}
+
+TEST(OpGraph, MoeWeightTrafficGrowsWithBatch)
+{
+    const LlmConfig model = deepseekV3();
+    const auto par = paperParallelism(model, Stage::Decode);
+    const auto small = summarize(buildOpGraph(
+        model, Workload{Stage::Decode, 8, 8192, 1}, par));
+    const auto large = summarize(buildOpGraph(
+        model, Workload{Stage::Decode, 1024, 8192, 1}, par));
+    // Few experts touched at batch 8; nearly all at batch 1024.
+    EXPECT_GT(static_cast<double>(large.weightBytes),
+              2.0 * static_cast<double>(small.weightBytes));
+}
+
+TEST(OpGraph, KvTrafficScalesWithBatchAndSeq)
+{
+    const LlmConfig model = grok1();
+    const auto par = paperParallelism(model, Stage::Decode);
+    const auto b64 = summarize(buildOpGraph(
+        model, Workload{Stage::Decode, 64, 8192, 1}, par));
+    const auto b128 = summarize(buildOpGraph(
+        model, Workload{Stage::Decode, 128, 8192, 1}, par));
+    EXPECT_NEAR(static_cast<double>(b128.kvBytes),
+                2.0 * static_cast<double>(b64.kvBytes),
+                0.02 * static_cast<double>(b128.kvBytes));
+    // KV per step: B x S x 4096 B / TP(8) x layers.
+    const double expect = 128.0 * 8192 * 4096 / 8 * 64;
+    EXPECT_NEAR(static_cast<double>(b128.kvBytes), expect, 0.05 * expect);
+}
+
+TEST(OpGraph, CategoriesPartitionTraffic)
+{
+    const LlmConfig model = grok1();
+    const auto par = paperParallelism(model, Stage::Decode);
+    const auto ops = buildOpGraph(model, Workload{Stage::Decode, 256, 8192,
+                                                  1}, par);
+    const auto all = summarize(ops);
+    const auto attn = summarize(ops, OpCategory::Attention);
+    const auto ffn = summarize(ops, OpCategory::Ffn);
+    const auto other = summarize(ops, OpCategory::Other);
+    EXPECT_EQ(all.totalBytes(),
+              attn.totalBytes() + ffn.totalBytes() + other.totalBytes());
+    EXPECT_GT(attn.totalBytes(), 0u);
+    EXPECT_GT(ffn.totalBytes(), 0u);
+}
+
+TEST(OpGraph, ExtentsAccompanyReads)
+{
+    const LlmConfig model = deepseekV3();
+    const auto ops = buildOpGraph(
+        model, Workload{Stage::Decode, 256, 8192, 1},
+        paperParallelism(model, Stage::Decode));
+    for (const auto& op : ops) {
+        if (op.weightBytes + op.kvReadBytes == 0)
+            continue;
+        ASSERT_FALSE(op.readExtents.empty()) << op.name;
+        for (const auto e : op.readExtents)
+            ASSERT_GT(e, 0u) << op.name;
+    }
+}
+
+TEST(OpGraph, DeterministicForFixedSeed)
+{
+    const LlmConfig model = deepseekV3();
+    const auto par = paperParallelism(model, Stage::Decode);
+    const Workload wl{Stage::Decode, 64, 8192, 42};
+    const auto a = summarize(buildOpGraph(model, wl, par));
+    const auto b = summarize(buildOpGraph(model, wl, par));
+    EXPECT_EQ(a.weightBytes, b.weightBytes);
+    EXPECT_DOUBLE_EQ(a.flops, b.flops);
+}
+
+TEST(OpGraph, RejectsInvalidWorkloads)
+{
+    const LlmConfig model = deepseekV3();
+    const auto par = paperParallelism(model, Stage::Decode);
+    EXPECT_THROW(buildOpGraph(model, Workload{Stage::Decode, 0, 8192, 1},
+                              par),
+                 std::runtime_error);
+    EXPECT_THROW(buildOpGraph(model, Workload{Stage::Decode, 12, 8192, 1},
+                              par),
+                 std::runtime_error); // DP batch not divisible by 8
+}
+
+} // namespace
+} // namespace rome

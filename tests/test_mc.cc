@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Conventional memory controller tests: streaming bandwidth, row-buffer
+ * locality, page policies, write draining, refresh interference, queue-depth
+ * sensitivity, latency accounting, and Table IV introspection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dram/hbm4_config.h"
+#include "mc/mc.h"
+
+namespace rome
+{
+namespace
+{
+
+using namespace rome::literals;
+
+McConfig
+noRefreshCfg()
+{
+    McConfig c;
+    c.refreshEnabled = false;
+    return c;
+}
+
+ConventionalMc
+makeMc(const McConfig& cfg)
+{
+    const DramConfig dram = hbm4Config();
+    return ConventionalMc(dram, bestBaselineMapping(dram.org), cfg);
+}
+
+/** Enqueue @p total bytes of sequential reads in @p chunk-byte requests. */
+void
+streamReads(ConventionalMc& mc, std::uint64_t total, std::uint64_t chunk,
+            std::uint64_t base = 0)
+{
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < total; off += chunk)
+        mc.enqueue({id++, ReqKind::Read, base + off, chunk, 0});
+}
+
+TEST(ConventionalMc, StreamingReadsApproachPeakBandwidth)
+{
+    auto mc = makeMc(noRefreshCfg());
+    streamReads(mc, 1_MiB, 4_KiB);
+    mc.drain();
+    EXPECT_EQ(mc.bytesRead(), 1_MiB);
+    // Peak is 64 B/ns per channel; ACT/PRE overheads must stay hidden.
+    EXPECT_GT(mc.achievedBandwidth(), 55.0);
+    EXPECT_LE(mc.achievedBandwidth(), 64.0);
+}
+
+TEST(ConventionalMc, StreamingRowHitRateIsHigh)
+{
+    auto mc = makeMc(noRefreshCfg());
+    streamReads(mc, 1_MiB, 4_KiB);
+    mc.drain();
+    // One ACT per 32 column ops per row slice -> ~97 % hits.
+    EXPECT_GT(mc.rowHitRate(), 0.9);
+}
+
+TEST(ConventionalMc, RefreshCostsSomeBandwidth)
+{
+    auto with_refresh = makeMc(McConfig{});
+    auto without = makeMc(noRefreshCfg());
+    streamReads(with_refresh, 1_MiB, 4_KiB);
+    streamReads(without, 1_MiB, 4_KiB);
+    with_refresh.drain();
+    without.drain();
+    EXPECT_LT(with_refresh.achievedBandwidth(), without.achievedBandwidth());
+    // ~7 % refresh duty (tRFCpb / tREFIbank); allow slack for interference.
+    EXPECT_GT(with_refresh.achievedBandwidth(),
+              0.85 * without.achievedBandwidth());
+}
+
+TEST(ConventionalMc, RefreshesAreIssuedAtTheRequiredRate)
+{
+    auto mc = makeMc(McConfig{});
+    // Idle channel: refreshes happen on schedule.
+    mc.runUntil(100_us);
+    // 128 banks, each refreshed every 3.9 us -> ~3282 REFpb in 100 us.
+    const double expected = 100000.0 / 3900.0 * 128.0;
+    const auto got = static_cast<double>(mc.device().counters().refPbs.value());
+    EXPECT_NEAR(got, expected, 0.1 * expected);
+}
+
+TEST(ConventionalMc, SmallQueueLimitsRandomAccessBandwidth)
+{
+    // Random 32 B reads need deep queues to overlap tRC across banks
+    // (§V-A: the conventional MC needs ~45+ entries).
+    auto run = [](int depth) {
+        McConfig cfg;
+        cfg.refreshEnabled = false;
+        cfg.readQueueDepth = depth;
+        auto mc = makeMc(cfg);
+        Rng rng(42);
+        const DramConfig dram = hbm4Config();
+        for (std::uint64_t i = 0; i < 20000; ++i) {
+            const std::uint64_t line =
+                rng.below(dram.org.channelCapacity() / 32);
+            mc.enqueue({i + 1, ReqKind::Read, line * 32, 32, 0});
+        }
+        mc.drain();
+        return mc.achievedBandwidth();
+    };
+    const double bw8 = run(8);
+    const double bw64 = run(64);
+    EXPECT_LT(bw8, 0.45 * bw64);
+}
+
+TEST(ConventionalMc, SingleReadLatencyIsActRcdClBurst)
+{
+    auto mc = makeMc(noRefreshCfg());
+    mc.enqueue({1, ReqKind::Read, 0, 32, 0});
+    mc.drain();
+    ASSERT_EQ(mc.completions().size(), 1u);
+    const TimingParams t = hbm4Timing();
+    const Tick expect = t.tRCDRD + t.tCL + t.tBURST;
+    EXPECT_DOUBLE_EQ(mc.latencyNs().mean(), nsFromTicks(expect));
+}
+
+TEST(ConventionalMc, WritesDrainAndComplete)
+{
+    auto mc = makeMc(noRefreshCfg());
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < 256_KiB; off += 4_KiB)
+        mc.enqueue({id++, ReqKind::Write, off, 4_KiB, 0});
+    mc.drain();
+    EXPECT_EQ(mc.bytesWritten(), 256_KiB);
+    EXPECT_TRUE(mc.idle());
+    EXPECT_GT(mc.achievedBandwidth(), 40.0);
+}
+
+TEST(ConventionalMc, MixedReadWriteCompletesWithTurnaroundCost)
+{
+    auto mc = makeMc(noRefreshCfg());
+    auto pure = makeMc(noRefreshCfg());
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < 512_KiB; off += 4_KiB) {
+        const bool wr = (off / 4_KiB) % 4 == 3; // 25 % writes
+        mc.enqueue({id++, wr ? ReqKind::Write : ReqKind::Read, off, 4_KiB,
+                    0});
+        pure.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+    }
+    mc.drain();
+    pure.drain();
+    EXPECT_EQ(mc.bytesRead() + mc.bytesWritten(), 512_KiB);
+    EXPECT_LT(mc.achievedBandwidth(), pure.achievedBandwidth());
+    EXPECT_GT(mc.achievedBandwidth(), 0.5 * pure.achievedBandwidth());
+}
+
+TEST(ConventionalMc, AllRequestsCompleteExactlyOnce)
+{
+    auto mc = makeMc(McConfig{});
+    streamReads(mc, 512_KiB, 2_KiB);
+    mc.drain();
+    EXPECT_EQ(mc.completions().size(), 512_KiB / 2_KiB);
+    std::set<std::uint64_t> ids;
+    for (const auto& c : mc.completions())
+        EXPECT_TRUE(ids.insert(c.id).second);
+}
+
+TEST(ConventionalMc, RequestLargerThanQueueCompletes)
+{
+    McConfig cfg = noRefreshCfg();
+    cfg.readQueueDepth = 16; // far below 4 KiB / 32 B = 128 ops
+    auto mc = makeMc(cfg);
+    mc.enqueue({1, ReqKind::Read, 0, 4_KiB, 0});
+    mc.drain();
+    ASSERT_EQ(mc.completions().size(), 1u);
+    EXPECT_EQ(mc.bytesRead(), 4_KiB);
+}
+
+TEST(ConventionalMc, ClosePolicyLeavesBanksPrecharged)
+{
+    McConfig cfg = noRefreshCfg();
+    cfg.pagePolicy = PagePolicy::Close;
+    auto mc = makeMc(cfg);
+    streamReads(mc, 64_KiB, 4_KiB);
+    mc.drain();
+    // Run a little past the drain to let trailing precharges issue.
+    mc.runUntil(mc.now() + 200_ns);
+    const Organization org = hbm4Config().org;
+    int open = 0;
+    for (int pc = 0; pc < org.pcsPerChannel; ++pc)
+        for (int sid = 0; sid < org.sidsPerChannel; ++sid)
+            for (int bg = 0; bg < org.bankGroupsPerSid; ++bg)
+                for (int ba = 0; ba < org.banksPerGroup; ++ba)
+                    open += mc.device().bankRecord(
+                        DramAddress{pc, sid, bg, ba, 0, 0}).open();
+    EXPECT_EQ(open, 0);
+}
+
+TEST(ConventionalMc, OpenPolicyKeepsRowsOpen)
+{
+    auto mc = makeMc(noRefreshCfg());
+    streamReads(mc, 64_KiB, 4_KiB);
+    mc.drain();
+    const Organization org = hbm4Config().org;
+    int open = 0;
+    for (int pc = 0; pc < org.pcsPerChannel; ++pc)
+        for (int sid = 0; sid < org.sidsPerChannel; ++sid)
+            for (int bg = 0; bg < org.bankGroupsPerSid; ++bg)
+                for (int ba = 0; ba < org.banksPerGroup; ++ba)
+                    open += mc.device().bankRecord(
+                        DramAddress{pc, sid, bg, ba, 0, 0}).open();
+    EXPECT_GT(open, 0);
+}
+
+TEST(ConventionalMc, AdaptivePolicyPrechargesIdleRows)
+{
+    McConfig cfg = noRefreshCfg();
+    cfg.pagePolicy = PagePolicy::Adaptive;
+    auto mc = makeMc(cfg);
+    mc.enqueue({1, ReqKind::Read, 0, 4_KiB, 0});
+    mc.drain();
+    mc.runUntil(mc.now() + 1_us); // longer than the adaptive timeout
+    const Organization org = hbm4Config().org;
+    int open = 0;
+    for (int pc = 0; pc < org.pcsPerChannel; ++pc)
+        for (int sid = 0; sid < org.sidsPerChannel; ++sid)
+            for (int bg = 0; bg < org.bankGroupsPerSid; ++bg)
+                for (int ba = 0; ba < org.banksPerGroup; ++ba)
+                    open += mc.device().bankRecord(
+                        DramAddress{pc, sid, bg, ba, 0, 0}).open();
+    EXPECT_EQ(open, 0);
+}
+
+TEST(ConventionalMc, PathologicalMappingDegradesBandwidth)
+{
+    const DramConfig dram = hbm4Config();
+    ConventionalMc good(dram, bestBaselineMapping(dram.org), noRefreshCfg());
+    ConventionalMc bad(dram, standardMappings(dram.org).back(),
+                       noRefreshCfg());
+    streamReads(good, 256_KiB, 4_KiB);
+    streamReads(bad, 256_KiB, 4_KiB);
+    good.drain();
+    bad.drain();
+    EXPECT_LT(bad.achievedBandwidth(), 0.5 * good.achievedBandwidth());
+}
+
+TEST(ConventionalMc, LatencyBoundedUnderLoad)
+{
+    auto mc = makeMc(McConfig{});
+    streamReads(mc, 1_MiB, 4_KiB);
+    mc.drain();
+    // Age-based QoS keeps the tail bounded (well under the 5 us threshold
+    // plus service time for this load).
+    EXPECT_LT(mc.latencyNs().max(), 40000.0);
+}
+
+TEST(ConventionalMc, ComplexityMatchesTableIV)
+{
+    auto mc = makeMc(McConfig{});
+    const McComplexity c = mc.complexity();
+    EXPECT_EQ(c.numTimingParams, 15);
+    EXPECT_EQ(c.numBankFsms, 64); // total banks per PC (Figure 4)
+    EXPECT_EQ(c.numBankStates, 7);
+    EXPECT_EQ(c.pagePolicy, "Open");
+    EXPECT_EQ(c.requestQueueDepth, 64);
+    EXPECT_EQ(c.schedulingConcerns.size(), 4u);
+}
+
+} // namespace
+} // namespace rome

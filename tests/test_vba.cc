@@ -1,0 +1,183 @@
+/**
+ * @file
+ * VBA design-space tests (§IV-B): organization math for all six Figure 7 ×
+ * Figure 8 combinations, lowering plans, area-overhead model, plus the C/A
+ * codec (§IV-D, Figure 10) and channel expansion (§IV-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/hbm4_config.h"
+#include "rome/ca_codec.h"
+#include "rome/channel_expansion.h"
+#include "rome/vba.h"
+
+namespace rome
+{
+namespace
+{
+
+using namespace rome::literals;
+
+TEST(VbaDesign, SixCombinationsAdoptedFirst)
+{
+    const auto all = VbaDesign::all();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0].bankMode, BankMode::InterleavedDiffBg);
+    EXPECT_EQ(all[0].pcMode, PcMode::LockstepPcs);
+    EXPECT_NE(all[0].name().find("adopted"), std::string::npos);
+}
+
+TEST(VbaDesign, AdoptedMatchesTableV)
+{
+    const Organization org = hbm4Config().org;
+    const VbaDesign d = VbaDesign::adopted();
+    EXPECT_EQ(d.vbasPerChannel(org), 32);   // Table V: banks/channel
+    EXPECT_EQ(d.effectiveRowBytes(org), 4_KiB); // Table V: row size
+    EXPECT_EQ(d.banksPerVba(), 2);
+    EXPECT_DOUBLE_EQ(d.areaOverheadFraction(), 0.0); // no DRAM change
+}
+
+TEST(VbaDesign, EffectiveRowSizesAcrossDesignSpace)
+{
+    const Organization org = hbm4Config().org;
+    const auto all = VbaDesign::all();
+    // 7d x 8b = 4 KB, 7d x 8a = 2 KB, 7c x 8b = 4 KB, 7c x 8a = 2 KB,
+    // 7b x 8b = 2 KB, 7b x 8a = 1 KB.
+    EXPECT_EQ(all[0].effectiveRowBytes(org), 4_KiB);
+    EXPECT_EQ(all[1].effectiveRowBytes(org), 2_KiB);
+    EXPECT_EQ(all[2].effectiveRowBytes(org), 4_KiB);
+    EXPECT_EQ(all[3].effectiveRowBytes(org), 2_KiB);
+    EXPECT_EQ(all[4].effectiveRowBytes(org), 2_KiB);
+    EXPECT_EQ(all[5].effectiveRowBytes(org), 1_KiB);
+}
+
+TEST(VbaDesign, WorstCombinationCostsThePaper77Percent)
+{
+    double worst = 0.0;
+    for (const auto& d : VbaDesign::all())
+        worst = std::max(worst, d.areaOverheadFraction());
+    EXPECT_NEAR(worst, 0.77, 1e-9);
+    // The worst point is the doubly-widened 7b × 8a.
+    const VbaDesign w{BankMode::Widened, PcMode::SinglePcDouble};
+    EXPECT_NEAR(w.areaOverheadFraction(), 0.77, 1e-9);
+}
+
+TEST(VbaMap, AllDesignsPreserveCapacityAndBandwidth)
+{
+    const DramConfig cfg = hbm4Config();
+    for (const auto& d : VbaDesign::all()) {
+        const VbaMap map(cfg.org, cfg.timing, d);
+        const Organization& dev = map.deviceOrganization();
+        EXPECT_EQ(dev.channelCapacity(), cfg.org.channelCapacity())
+            << d.name();
+        EXPECT_DOUBLE_EQ(dev.channelBandwidthBytesPerNs(),
+                         cfg.org.channelBandwidthBytesPerNs())
+            << d.name();
+        // One operation drains exactly the effective row.
+        const VbaPlan p = map.plan(VbaAddress{0, 0, 0});
+        const std::uint64_t op_bytes =
+            static_cast<std::uint64_t>(p.casPerBank) * p.banks.size() *
+            p.bytesPerCas * p.pcs.size();
+        EXPECT_EQ(op_bytes, map.effectiveRowBytes()) << d.name();
+    }
+}
+
+TEST(VbaMap, AdoptedPlanPairsBankGroups)
+{
+    const DramConfig cfg = hbm4Config();
+    const VbaMap map(cfg.org, cfg.timing, VbaDesign::adopted());
+    EXPECT_EQ(map.vbasPerSid(), 8);
+
+    const VbaPlan p0 = map.plan(VbaAddress{0, 0, 0});
+    ASSERT_EQ(p0.banks.size(), 2u);
+    EXPECT_EQ(p0.banks[0], (std::pair<int, int>{0, 0}));
+    EXPECT_EQ(p0.banks[1], (std::pair<int, int>{1, 0}));
+    EXPECT_EQ(p0.casPerBank, 32);
+    EXPECT_EQ(p0.bytesPerCas, 32u);
+    EXPECT_EQ(p0.casCadence, cfg.timing.tCCDS);
+    ASSERT_EQ(p0.pcs.size(), 2u); // lock-step PCs
+
+    const VbaPlan p5 = map.plan(VbaAddress{0, 5, 0});
+    EXPECT_EQ(p5.banks[0], (std::pair<int, int>{2, 1}));
+    EXPECT_EQ(p5.banks[1], (std::pair<int, int>{3, 1}));
+}
+
+TEST(VbaMap, VbaIndicesCoverAllPhysicalBanksOnce)
+{
+    const DramConfig cfg = hbm4Config();
+    for (const auto& d : VbaDesign::all()) {
+        const VbaMap map(cfg.org, cfg.timing, d);
+        std::set<std::pair<int, int>> seen;
+        for (int v = 0; v < map.vbasPerSid(); ++v) {
+            for (const auto& b : map.plan(VbaAddress{0, v, 0}).banks)
+                EXPECT_TRUE(seen.insert(b).second) << d.name();
+        }
+        const Organization& dev = map.deviceOrganization();
+        EXPECT_EQ(static_cast<int>(seen.size()),
+                  dev.bankGroupsPerSid * dev.banksPerGroup)
+            << d.name();
+    }
+}
+
+TEST(VbaMap, OutOfRangeAddressPanics)
+{
+    const DramConfig cfg = hbm4Config();
+    const VbaMap map(cfg.org, cfg.timing, VbaDesign::adopted());
+    EXPECT_THROW(map.plan(VbaAddress{0, 8, 0}), std::logic_error);
+    EXPECT_THROW(map.plan(VbaAddress{4, 0, 0}), std::logic_error);
+    EXPECT_THROW(map.plan(VbaAddress{0, 0, 8192}), std::logic_error);
+}
+
+TEST(CaCodec, PacketSizesMatchSectionIvD)
+{
+    const Organization org = hbm4Config().org;
+    const CaCodec codec(org, VbaDesign::adopted());
+    EXPECT_EQ(codec.numCommands(), 11);
+    EXPECT_EQ(codec.opcodeBits(), 4);
+    // SID(2) + VBA(3) + row(13) = 18 address bits.
+    EXPECT_EQ(codec.rowCommandAddressBits(), 18);
+    EXPECT_EQ(codec.rowCommandPacketBits(), 22);
+}
+
+TEST(CaCodec, FivePinsMeetTheFigure10Bound)
+{
+    const Organization org = hbm4Config().org;
+    const CaCodec codec(org, VbaDesign::adopted());
+    EXPECT_DOUBLE_EQ(codec.latencyBoundNs(), 4.0); // 2 x tRRDS
+    EXPECT_EQ(codec.minimumPins(), CaCodec::kRomeCaPins);
+    EXPECT_LE(codec.accessToRefLatencyNs(5), codec.latencyBoundNs());
+    EXPECT_GT(codec.accessToRefLatencyNs(4), codec.latencyBoundNs());
+    // Latency decreases monotonically with more pins (Figure 10 shape).
+    for (int pins = 6; pins <= 10; ++pins) {
+        EXPECT_LE(codec.accessToRefLatencyNs(pins),
+                  codec.accessToRefLatencyNs(pins - 1));
+    }
+}
+
+TEST(CaCodec, EliminatesSeventyTwoPercentOfPins)
+{
+    EXPECT_EQ(CaCodec::kConventionalCaPins, 18);
+    EXPECT_EQ(CaCodec::kRomeCaPins, 5);
+    EXPECT_NEAR(CaCodec::pinReductionFraction(), 0.72, 0.005);
+}
+
+TEST(ChannelExpansion, MatchesSectionIvE)
+{
+    const ChannelExpansion e;
+    EXPECT_EQ(e.romeChannelPins(), 107);
+    EXPECT_EQ(e.romeChannels(), 36);
+    EXPECT_EQ(e.extraPins(), 12);
+    EXPECT_DOUBLE_EQ(e.bandwidthGain(), 0.125);
+    EXPECT_EQ(e.channelsPerDieRome(), 9);
+
+    const Organization base = hbm4Config().org;
+    const Organization ex = e.expand(base);
+    EXPECT_EQ(ex.channelsPerCube, 36);
+    // 2.25 TB/s per cube.
+    EXPECT_DOUBLE_EQ(ex.channelBandwidthBytesPerNs() *
+                     static_cast<double>(ex.channelsPerCube), 2304.0);
+}
+
+} // namespace
+} // namespace rome
