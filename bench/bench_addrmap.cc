@@ -2,7 +2,8 @@
  * @file
  * §VI-A methodology: the address-mapping sweep used to pick the best
  * configuration for each system. Streams 1 MiB of 4 KB reads per channel
- * through every baseline mapping and every RoMe chunk-map order.
+ * through every baseline mapping and every RoMe chunk-map order, as one
+ * engine sweep.
  */
 
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include "dram/hbm4_config.h"
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -20,39 +23,54 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
+    const auto stream = shareRequests(streamRequests({1_MiB, 4_KiB}));
+
+    std::vector<SweepJob> jobs;
+    const auto mappings = standardMappings(dram.org);
+    for (const auto& m : mappings) {
+        jobs.push_back(SweepJob{
+            m.name(),
+            [dram, m] {
+                return std::make_unique<ConventionalMc>(dram, m,
+                                                        McConfig{});
+            },
+            stream});
+    }
+    const std::pair<RomeMapOrder, const char*> orders[] = {
+        {RomeMapOrder::VbaSidRow, "VBA, SID, row (default)"},
+        {RomeMapOrder::SidVbaRow, "SID, VBA, row"},
+        {RomeMapOrder::RowVbaSid, "row, VBA, SID (pathological)"},
+    };
+    for (const auto& [order, label] : orders) {
+        jobs.push_back(SweepJob{
+            label,
+            [dram, order] {
+                return std::make_unique<RomeMc>(dram, VbaDesign::adopted(),
+                                                RomeMcConfig{}, order);
+            },
+            stream});
+    }
+    const auto results = runSweep(std::move(jobs));
 
     Table t("Baseline address-mapping sweep (streaming reads, refresh on)");
     t.setHeader({"mapping (MSB..LSB)", "bandwidth (B/ns)", "row hit rate",
                  "ACTs/KiB"});
-    for (const auto& m : standardMappings(dram.org)) {
-        ConventionalMc mc(dram, m, McConfig{});
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-        mc.drain();
-        t.addRow({m.name(), Table::num(mc.achievedBandwidth(), 1),
-                  Table::num(mc.rowHitRate(), 3),
-                  Table::num(static_cast<double>(
-                                 mc.device().counters().acts.value()) /
-                                 (1024.0 * 1024.0 / 1024.0),
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+        const auto& s = results[i].stats;
+        t.addRow({results[i].label, Table::num(s.achievedBandwidth, 1),
+                  Table::num(s.rowHitRate, 3),
+                  Table::num(static_cast<double>(s.acts) /
+                                 (static_cast<double>(s.totalBytes()) /
+                                  1024.0),
                              2)});
     }
     t.print();
 
     Table r("RoMe chunk-map order sweep");
     r.setHeader({"order", "effective bandwidth (B/ns)"});
-    const std::pair<RomeMapOrder, const char*> orders[] = {
-        {RomeMapOrder::VbaSidRow, "VBA, SID, row (default)"},
-        {RomeMapOrder::SidVbaRow, "SID, VBA, row"},
-        {RomeMapOrder::RowVbaSid, "row, VBA, SID (pathological)"},
-    };
-    for (const auto& [order, name] : orders) {
-        RomeMc mc(dram, VbaDesign::adopted(), RomeMcConfig{}, order);
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-        mc.drain();
-        r.addRow({name, Table::num(mc.effectiveBandwidth(), 1)});
+    for (std::size_t i = mappings.size(); i < results.size(); ++i) {
+        r.addRow({results[i].label,
+                  Table::num(results[i].stats.effectiveBandwidth, 1)});
     }
     r.print();
 

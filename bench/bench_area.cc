@@ -11,6 +11,7 @@
 #include "area/area_model.h"
 #include "common/table.h"
 #include "dram/hbm4_config.h"
+#include "mc/mc.h"
 #include "rome/ca_codec.h"
 #include "rome/channel_expansion.h"
 #include "rome/rome_mc.h"

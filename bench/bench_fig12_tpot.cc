@@ -4,6 +4,9 @@
  * sizes (sequence length 8 K), with the attention/FFN breakdown, plus the
  * §VI-B prefill comparison. The paper reports average TPOT reductions of
  * 10.4 % (DeepSeek-V3), 10.2 % (Grok 1), and 9.0 % (Llama 3).
+ *
+ * Each model's batch sweep runs through tpotBatchSweep on the engine's
+ * thread pool.
  */
 
 #include <cstdio>
@@ -28,24 +31,24 @@ main()
             SystemEvalConfig::forSystem(MemorySystem::RoMe, calib_rome);
         const auto par = paperParallelism(model, Stage::Decode);
 
+        const auto sweep = tpotBatchSweep(model, batchSweep(model), 8192,
+                                          par, sys_base, sys_rome);
+
         Table t(model.name + " — decode TPOT (seq 8K)");
         t.setHeader({"batch", "HBM4 (ms)", "attn/FFN (ms)", "RoMe (ms)",
                      "attn/FFN (ms)", "norm. RoMe", "TPOT cut"});
-        for (const int b : batchSweep(model)) {
-            const Workload wl{Stage::Decode, b, 8192, 1};
-            const auto rb = evaluateStep(model, wl, par, sys_base);
-            const auto rr = evaluateStep(model, wl, par, sys_rome);
-            const double gain = 1.0 - rr.totalMs / rb.totalMs;
-            sum_gain[model_idx] += gain;
+        for (const auto& cmp : sweep) {
+            sum_gain[model_idx] += cmp.gain();
             ++n_points[model_idx];
-            t.addRow({std::to_string(b), Table::num(rb.totalMs, 2),
-                      Table::num(rb.attentionMs, 2) + "/" +
-                          Table::num(rb.ffnMs, 2),
-                      Table::num(rr.totalMs, 2),
-                      Table::num(rr.attentionMs, 2) + "/" +
-                          Table::num(rr.ffnMs, 2),
-                      Table::num(rr.totalMs / rb.totalMs, 3),
-                      Table::percent(gain)});
+            t.addRow({std::to_string(cmp.batch),
+                      Table::num(cmp.base.totalMs, 2),
+                      Table::num(cmp.base.attentionMs, 2) + "/" +
+                          Table::num(cmp.base.ffnMs, 2),
+                      Table::num(cmp.rome.totalMs, 2),
+                      Table::num(cmp.rome.attentionMs, 2) + "/" +
+                          Table::num(cmp.rome.ffnMs, 2),
+                      Table::num(cmp.rome.totalMs / cmp.base.totalMs, 3),
+                      Table::percent(cmp.gain())});
         }
         t.print();
 

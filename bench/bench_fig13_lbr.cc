@@ -30,18 +30,15 @@ main()
         for (const int b : batchSweep(model)) {
             const auto ops = buildOpGraph(
                 model, Workload{Stage::Decode, b, 8192, 1}, par);
-            const double ab = categoryLbr(ops, OpCategory::Attention,
-                                          base_channels, 256);
-            const double ar = categoryLbr(ops, OpCategory::Attention,
-                                          rome_channels, 4096);
-            const double fb = categoryLbr(ops, OpCategory::Ffn,
-                                          base_channels, 256);
-            const double fr = categoryLbr(ops, OpCategory::Ffn,
-                                          rome_channels, 4096);
-            t.addRow({std::to_string(b), Table::num(ab, 3),
-                      Table::num(ar, 3), Table::num(ar / ab, 3),
-                      Table::num(fb, 3), Table::num(fr, 3),
-                      Table::num(fr / fb, 3)});
+            const LbrByCategory base =
+                categoryLbrs(ops, base_channels, 256);
+            const LbrByCategory rm =
+                categoryLbrs(ops, rome_channels, 4096);
+            t.addRow({std::to_string(b), Table::num(base.attention, 3),
+                      Table::num(rm.attention, 3),
+                      Table::num(rm.attention / base.attention, 3),
+                      Table::num(base.ffn, 3), Table::num(rm.ffn, 3),
+                      Table::num(rm.ffn / base.ffn, 3)});
         }
         t.print();
         std::printf("\n");

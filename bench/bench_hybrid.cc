@@ -3,69 +3,66 @@
  * Discussion §VII: the hybrid RoMe + HBM4 system under a sparse-attention
  * mix (DeepSeek-Sparse-Attention-style sub-row gathers amid coarse weight
  * streams), and the larger-ECC-codeword trade-off the row granularity
- * enables.
+ * enables. The pure/hybrid pairs for every mix run as one engine sweep.
  */
 
 #include <cstdio>
 
-#include "common/random.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "dram/hbm4_config.h"
 #include "rome/ecc.h"
 #include "rome/hybrid.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
 
-namespace
-{
-
-template <typename Fn>
-void
-sparseMix(double fine_fraction, Fn&& enqueue_fn)
-{
-    Rng rng(5);
-    std::uint64_t id = 1;
-    for (std::uint64_t emitted = 0; emitted < 2_MiB;) {
-        if (rng.uniform() < fine_fraction) {
-            const std::uint64_t at = rng.below((1u << 30) / 512) * 512;
-            enqueue_fn(Request{id++, ReqKind::Read, at, 512, 0});
-            emitted += 512;
-        } else {
-            const std::uint64_t at = rng.below((1u << 30) / 16384) * 16384;
-            enqueue_fn(Request{id++, ReqKind::Read, at, 16_KiB, 0});
-            emitted += 16_KiB;
-        }
-    }
-}
-
-} // namespace
-
 int
 main()
 {
+    const double fractions[] = {0.0, 0.1, 0.3, 0.5};
+
+    std::vector<SweepJob> jobs;
+    for (const double frac : fractions) {
+        SparseMixPattern p;
+        p.fineFraction = frac;
+        p.totalBytes = 2_MiB;
+        const auto reqs = shareRequests(sparseMixRequests(p));
+        jobs.push_back(SweepJob{
+            Table::percent(frac, 0),
+            [] {
+                return std::make_unique<RomeMc>(
+                    hbm4Config(), VbaDesign::adopted(), RomeMcConfig{});
+            },
+            reqs});
+        jobs.push_back(SweepJob{
+            Table::percent(frac, 0),
+            [] {
+                return std::make_unique<HybridMc>(hbm4Config(),
+                                                  HybridConfig{});
+            },
+            reqs});
+    }
+    const auto results = runSweep(std::move(jobs));
+
     Table t("Sparse-attention mix: pure RoMe vs hybrid RoMe+HBM4");
     t.setHeader({"fine fraction", "pure RoMe useful B/ns",
                  "pure overfetch", "hybrid useful B/ns",
                  "hybrid overfetch"});
-    for (const double frac : {0.0, 0.1, 0.3, 0.5}) {
-        RomeMc pure(hbm4Config(), VbaDesign::adopted(), RomeMcConfig{});
-        sparseMix(frac, [&](const Request& r) { pure.enqueue(r); });
-        pure.drain();
-        HybridMc hybrid(hbm4Config(), HybridConfig{});
-        sparseMix(frac, [&](const Request& r) { hybrid.enqueue(r); });
-        hybrid.drain();
-        const auto pct = [](std::uint64_t over, std::uint64_t useful) {
-            return Table::percent(static_cast<double>(over) /
-                                  static_cast<double>(useful));
-        };
-        t.addRow({Table::percent(frac, 0),
-                  Table::num(pure.effectiveBandwidth(), 1),
-                  pct(pure.overfetchBytes(), pure.bytesRead()),
-                  Table::num(hybrid.effectiveBandwidth(), 1),
-                  pct(hybrid.romePartition().overfetchBytes(),
-                      hybrid.bytesCoarse() + hybrid.bytesFine())});
+    const auto pct = [](std::uint64_t over, std::uint64_t useful) {
+        return Table::percent(static_cast<double>(over) /
+                              static_cast<double>(useful));
+    };
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        const auto& pure = results[i].stats;
+        const auto& hybrid = results[i + 1].stats;
+        t.addRow({results[i].label,
+                  Table::num(pure.effectiveBandwidth, 1),
+                  pct(pure.overfetchBytes, pure.bytesRead),
+                  Table::num(hybrid.effectiveBandwidth, 1),
+                  pct(hybrid.overfetchBytes, hybrid.totalBytes())});
     }
     t.print();
 

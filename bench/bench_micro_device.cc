@@ -1,8 +1,8 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator itself: raw command
- * throughput of the channel device, command-generator lowering, and both
- * memory controllers end-to-end. Useful for keeping the simulation fast
+ * throughput of the channel device, and both memory controllers end-to-end
+ * through the engine interface. Useful for keeping the simulation fast
  * enough for the GB-scale figure harnesses.
  */
 
@@ -10,8 +10,9 @@
 
 #include "common/types.h"
 #include "dram/hbm4_config.h"
-#include "mc/mc.h"
-#include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/memsim.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -40,34 +41,29 @@ BM_DeviceInterleavedReads(benchmark::State& state)
 BENCHMARK(BM_DeviceInterleavedReads);
 
 void
-BM_ConventionalMcStream(benchmark::State& state)
+BM_McStream(benchmark::State& state, MemorySystem sys)
 {
     const DramConfig cfg = hbm4Config();
+    const auto reqs = streamRequests({256_KiB, 4_KiB});
     for (auto _ : state) {
-        ConventionalMc mc(cfg, bestBaselineMapping(cfg.org), McConfig{});
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 256_KiB; off += 4_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-        mc.drain();
-        benchmark::DoNotOptimize(mc.bytesRead());
+        auto mc = makeChannelController(sys, cfg);
+        const ControllerStats s = runWorkload(*mc, reqs);
+        benchmark::DoNotOptimize(s.bytesRead);
     }
     state.SetBytesProcessed(state.iterations() * 256_KiB);
+}
+
+void
+BM_ConventionalMcStream(benchmark::State& state)
+{
+    BM_McStream(state, MemorySystem::Hbm4);
 }
 BENCHMARK(BM_ConventionalMcStream);
 
 void
 BM_RomeMcStream(benchmark::State& state)
 {
-    const DramConfig cfg = hbm4Config();
-    for (auto _ : state) {
-        RomeMc mc(cfg, VbaDesign::adopted(), RomeMcConfig{});
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 256_KiB; off += 4_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-        mc.drain();
-        benchmark::DoNotOptimize(mc.bytesRead());
-    }
-    state.SetBytesProcessed(state.iterations() * 256_KiB);
+    BM_McStream(state, MemorySystem::RoMe);
 }
 BENCHMARK(BM_RomeMcStream);
 

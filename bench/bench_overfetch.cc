@@ -6,64 +6,56 @@
  * sub-row random requests, e.g. DeepSeek-Sparse-Attention-style gathers)
  * while the conventional system degrades gracefully — the motivation for
  * the hybrid architecture the paper sketches.
+ *
+ * Both systems run over the same request lists as one engine sweep.
  */
 
 #include <cstdio>
 
-#include "common/random.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "dram/hbm4_config.h"
-#include "mc/mc.h"
-#include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/memsim.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
-
-namespace
-{
-
-std::vector<Request>
-randomRequests(std::uint64_t req_bytes, std::uint64_t total,
-               std::uint64_t capacity)
-{
-    Rng rng(3);
-    std::vector<Request> out;
-    std::uint64_t id = 1;
-    for (std::uint64_t emitted = 0; emitted < total; emitted += req_bytes) {
-        const std::uint64_t at =
-            rng.below(capacity / req_bytes) * req_bytes;
-        out.push_back({id++, ReqKind::Read, at, req_bytes, 0});
-    }
-    return out;
-}
-
-} // namespace
 
 int
 main()
 {
     const DramConfig dram = hbm4Config();
+    const std::uint64_t sizes[] = {256ull, 1024ull, 4096ull, 16384ull};
+
+    std::vector<SweepJob> jobs;
+    for (const std::uint64_t req : sizes) {
+        RandomPattern p;
+        p.seed = 3;
+        p.requestBytes = req;
+        p.totalBytes = 2_MiB;
+        p.capacity = dram.org.channelCapacity();
+        const auto reqs = shareRequests(randomRequests(p));
+        for (const MemorySystem sys :
+             {MemorySystem::Hbm4, MemorySystem::RoMe}) {
+            jobs.push_back(SweepJob{
+                Table::bytes(req),
+                [sys, dram] { return makeChannelController(sys, dram); },
+                reqs});
+        }
+    }
+    const auto results = runSweep(std::move(jobs));
+
     Table t("Random reads of varying granularity (useful B/ns per "
             "channel)");
     t.setHeader({"request size", "HBM4", "RoMe", "RoMe overfetch"});
-    for (const std::uint64_t req :
-         {256ull, 1024ull, 4096ull, 16384ull}) {
-        ConventionalMc base(dram, bestBaselineMapping(dram.org),
-                            McConfig{});
-        RomeMc rm(dram, VbaDesign::adopted(), RomeMcConfig{});
-        for (const auto& r :
-             randomRequests(req, 2_MiB, dram.org.channelCapacity())) {
-            base.enqueue(r);
-            rm.enqueue(r);
-        }
-        base.drain();
-        rm.drain();
-        const double of = static_cast<double>(rm.overfetchBytes()) /
-                          static_cast<double>(rm.bytesRead());
-        t.addRow({Table::bytes(req),
-                  Table::num(base.achievedBandwidth(), 1),
-                  Table::num(rm.effectiveBandwidth(), 1),
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        const auto& base = results[i].stats;
+        const auto& rm = results[i + 1].stats;
+        const double of = static_cast<double>(rm.overfetchBytes) /
+                          static_cast<double>(rm.bytesRead);
+        t.addRow({results[i].label, Table::num(base.achievedBandwidth, 1),
+                  Table::num(rm.effectiveBandwidth, 1),
                   Table::percent(of)});
     }
     t.print();

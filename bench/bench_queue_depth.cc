@@ -4,16 +4,19 @@
  * column-granularity entries per PC to overlap tRC across banks (shown
  * with a random-access stream where every op opens its own row, and a
  * streaming mix); the RoMe MC saturates with two row-granularity entries.
+ *
+ * All design points run as one engine sweep on the thread pool.
  */
 
 #include <cstdio>
 
-#include "common/random.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "dram/hbm4_config.h"
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -21,43 +24,48 @@ using namespace rome::literals;
 namespace
 {
 
-double
-baselineBw(int depth_per_pc, bool random_access)
+constexpr int kBaselineDepths[] = {4, 8, 16, 32, 45, 64, 128};
+constexpr int kRomeDepths[] = {1, 2, 4, 8};
+
+SweepJob
+baselineJob(int depth_per_pc, bool random_access)
 {
     const DramConfig dram = hbm4Config();
     McConfig cfg;
     cfg.refreshEnabled = false;
     cfg.readQueueDepth = depth_per_pc * dram.org.pcsPerChannel;
     cfg.writeQueueDepth = cfg.readQueueDepth;
-    ConventionalMc mc(dram, bestBaselineMapping(dram.org), cfg);
-    Rng rng(7);
+    std::vector<Request> reqs;
     if (random_access) {
-        for (std::uint64_t i = 0; i < 30000; ++i) {
-            const std::uint64_t line =
-                rng.below(dram.org.channelCapacity() / 32);
-            mc.enqueue({i + 1, ReqKind::Read, line * 32, 32, 0});
-        }
+        RandomPattern p;
+        p.seed = 7;
+        p.requestBytes = 32;
+        p.totalBytes = 30000 * 32;
+        p.capacity = dram.org.channelCapacity();
+        reqs = randomRequests(p);
     } else {
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
+        reqs = streamRequests({1_MiB, 4_KiB});
     }
-    mc.drain();
-    return mc.achievedBandwidth();
+    return SweepJob{std::to_string(depth_per_pc),
+                    [dram, cfg] {
+                        return std::make_unique<ConventionalMc>(
+                            dram, bestBaselineMapping(dram.org), cfg);
+                    },
+                    std::move(reqs)};
 }
 
-double
-romeBw(int depth)
+SweepJob
+romeJob(int depth)
 {
     RomeMcConfig cfg;
     cfg.refreshEnabled = false;
     cfg.queueDepth = depth;
-    RomeMc mc(hbm4Config(), VbaDesign::adopted(), cfg);
-    std::uint64_t id = 1;
-    for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
-        mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-    mc.drain();
-    return mc.effectiveBandwidth();
+    return SweepJob{std::to_string(depth),
+                    [cfg] {
+                        return std::make_unique<RomeMc>(
+                            hbm4Config(), VbaDesign::adopted(), cfg);
+                    },
+                    streamRequests({1_MiB, 4_KiB})};
 }
 
 } // namespace
@@ -65,19 +73,34 @@ romeBw(int depth)
 int
 main()
 {
+    // One job per (depth, pattern) point; the engine spreads them over the
+    // thread pool.
+    std::vector<SweepJob> jobs;
+    for (const int d : kBaselineDepths)
+        jobs.push_back(baselineJob(d, true));
+    for (const int d : kBaselineDepths)
+        jobs.push_back(baselineJob(d, false));
+    for (const int d : kRomeDepths)
+        jobs.push_back(romeJob(d));
+    const auto results = runSweep(std::move(jobs));
+
+    const std::size_t n = std::size(kBaselineDepths);
     Table t("Conventional MC — bandwidth vs queue depth (per PC)");
     t.setHeader({"entries/PC", "random 32 B reads (B/ns)",
                  "streaming 4 KB reads (B/ns)"});
-    for (const int d : {4, 8, 16, 32, 45, 64, 128}) {
-        t.addRow({std::to_string(d), Table::num(baselineBw(d, true), 1),
-                  Table::num(baselineBw(d, false), 1)});
+    for (std::size_t i = 0; i < n; ++i) {
+        t.addRow({results[i].label,
+                  Table::num(results[i].stats.achievedBandwidth, 1),
+                  Table::num(results[i + n].stats.achievedBandwidth, 1)});
     }
     t.print();
 
     Table r("RoMe MC — bandwidth vs queue depth (row entries)");
     r.setHeader({"entries", "streaming 4 KB reads (B/ns)"});
-    for (const int d : {1, 2, 4, 8})
-        r.addRow({std::to_string(d), Table::num(romeBw(d), 1)});
+    for (std::size_t i = 2 * n; i < results.size(); ++i) {
+        r.addRow({results[i].label,
+                  Table::num(results[i].stats.effectiveBandwidth, 1)});
+    }
     r.print();
 
     std::printf("\nThe paper's §V-A claim: the conventional MC needs ~45+ "

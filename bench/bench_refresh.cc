@@ -3,7 +3,8 @@
  * §V-B: the paired per-bank refresh. Refreshing a VBA's two banks
  * back-to-back (tRREFD apart) stalls the VBA for tRFCpb + tRREFD instead
  * of 2 × tRFCpb, and the streaming bandwidth cost of refresh stays near
- * the theoretical duty cycle.
+ * the theoretical duty cycle. The refresh-on/off comparison runs as one
+ * engine sweep.
  */
 
 #include <cstdio>
@@ -13,6 +14,8 @@
 #include "dram/hbm4_config.h"
 #include "rome/cmdgen.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -20,17 +23,17 @@ using namespace rome::literals;
 namespace
 {
 
-double
-streamBw(bool refresh)
+SweepJob
+streamJob(bool refresh)
 {
     RomeMcConfig cfg;
     cfg.refreshEnabled = refresh;
-    RomeMc mc(hbm4Config(), VbaDesign::adopted(), cfg);
-    std::uint64_t id = 1;
-    for (std::uint64_t off = 0; off < 4_MiB; off += 4_KiB)
-        mc.enqueue({id++, ReqKind::Read, off, 4_KiB, 0});
-    mc.drain();
-    return mc.effectiveBandwidth();
+    return SweepJob{refresh ? "with refresh" : "no refresh",
+                    [cfg] {
+                        return std::make_unique<RomeMc>(
+                            hbm4Config(), VbaDesign::adopted(), cfg);
+                    },
+                    streamRequests({4_MiB, 4_KiB})};
 }
 
 } // namespace
@@ -57,8 +60,9 @@ main()
     std::printf("Stall reduced %.0f %% (paper: 560 ns -> 288 ns).\n\n",
                 (1.0 - paired / naive) * 100.0);
 
-    const double with_ref = streamBw(true);
-    const double without = streamBw(false);
+    const auto results = runSweep({streamJob(true), streamJob(false)});
+    const double with_ref = results[0].stats.effectiveBandwidth;
+    const double without = results[1].stats.effectiveBandwidth;
     std::printf("Streaming bandwidth: %.1f B/ns without refresh, %.1f "
                 "B/ns with refresh\n(-%.1f %%; theoretical duty "
                 "(tRFCpb+tRREFD)/tREFI = %.1f %%).\n",

@@ -1,15 +1,14 @@
 /**
  * @file
  * Table IV: the memory-controller structures RoMe simplifies, introspected
- * from the two MC implementations (not hard-coded).
+ * through the polymorphic controller interface (not hard-coded).
  */
 
 #include <cstdio>
 
 #include "common/table.h"
 #include "dram/hbm4_config.h"
-#include "mc/mc.h"
-#include "rome/rome_mc.h"
+#include "sim/memsim.h"
 
 using namespace rome;
 
@@ -31,10 +30,10 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
-    ConventionalMc conv(dram, bestBaselineMapping(dram.org), McConfig{});
-    RomeMc rm(dram, VbaDesign::adopted(), RomeMcConfig{});
-    const McComplexity c = conv.complexity();
-    const McComplexity r = rm.complexity();
+    const auto conv = makeChannelController(MemorySystem::Hbm4, dram);
+    const auto rm = makeChannelController(MemorySystem::RoMe, dram);
+    const McComplexity c = conv->complexity();
+    const McComplexity r = rm->complexity();
 
     Table t("Table IV — simplified components of the RoMe MC");
     t.setHeader({"structure", "conventional MC", "RoMe MC"});

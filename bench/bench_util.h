@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses: per-model channel
- * calibration (cached per process) and batch sweeps.
+ * calibration (cached per process, both systems simulated concurrently on
+ * the engine's thread pool) and batch sweeps.
  */
 
 #ifndef ROME_BENCH_BENCH_UTIL_H
@@ -10,9 +11,11 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "llm/kv_cache.h"
+#include "sim/engine.h"
 #include "sim/memsim.h"
 #include "sim/tpot.h"
 
@@ -30,8 +33,7 @@ calibrationFor(const LlmConfig& model)
         return it->second;
     ChannelWorkloadProfile p = profileFor(model);
     p.totalBytes = 8ull << 20;
-    auto result = std::make_pair(calibrateChannel(MemorySystem::Hbm4, p),
-                                 calibrateChannel(MemorySystem::RoMe, p));
+    auto result = calibratePair(p);
     cache.emplace(model.name, result);
     return result;
 }

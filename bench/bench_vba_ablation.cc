@@ -1,17 +1,20 @@
 /**
  * @file
  * §IV-B ablation: all six VBA design points (Figure 7 b/c/d × Figure 8
- * a/b) under the same streaming workload. Performance stays within a few
- * percent (the paper: ≤ 3.6 %), while the DRAM-die datapath area overhead
- * separates them — which is why the paper adopts 7d × 8b.
+ * a/b) under the same streaming workload, run as one engine sweep.
+ * Performance stays within a few percent (the paper: ≤ 3.6 %), while the
+ * DRAM-die datapath area overhead separates them — which is why the paper
+ * adopts 7d × 8b.
  */
 
 #include <cstdio>
 
 #include "common/table.h"
-#include "dram/hbm4_config.h"
 #include "common/types.h"
+#include "dram/hbm4_config.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -20,22 +23,28 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
+    // 1 MiB mixed stream: every 16th 8 KiB request is a write.
+    const auto stream = shareRequests(streamRequests({1_MiB, 8_KiB, 0, 16}));
+
+    std::vector<SweepJob> jobs;
+    for (const auto& d : VbaDesign::all()) {
+        jobs.push_back(SweepJob{
+            d.name(),
+            [dram, d] {
+                return std::make_unique<RomeMc>(dram, d, RomeMcConfig{});
+            },
+            stream});
+    }
+    const auto results = runSweep(std::move(jobs));
+
     Table t("VBA design space (1 MiB mixed stream per channel)");
     t.setHeader({"design", "eff. row", "VBAs/ch", "eff. BW (B/ns)",
                  "vs adopted", "DRAM area overhead"});
-
     double adopted_bw = 0.0;
     double worst_dev = 0.0;
+    std::size_t i = 0;
     for (const auto& d : VbaDesign::all()) {
-        RomeMc mc(dram, d, RomeMcConfig{});
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 1_MiB; off += 8_KiB) {
-            const bool wr = (off / 8_KiB) % 16 == 15;
-            mc.enqueue({id++, wr ? ReqKind::Write : ReqKind::Read, off,
-                        8_KiB, 0});
-        }
-        mc.drain();
-        const double bw = mc.effectiveBandwidth();
+        const double bw = results[i++].stats.effectiveBandwidth;
         if (adopted_bw == 0.0)
             adopted_bw = bw; // first entry is the adopted design
         const double dev = bw / adopted_bw - 1.0;

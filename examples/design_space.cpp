@@ -1,9 +1,10 @@
 /**
  * @file
  * Virtual-bank design-space exploration: walk all six Figure 7 × Figure 8
- * combinations, run each as a full memory controller, and print the
- * performance/area trade-off the paper uses to pick 7d × 8b — then show
- * the derived row-level timing of each point.
+ * combinations, run each as an independent engine sweep job (in parallel
+ * on the thread pool), and print the performance/area trade-off the paper
+ * uses to pick 7d × 8b — then show the derived row-level timing of each
+ * point.
  *
  *   $ ./design_space
  */
@@ -15,6 +16,8 @@
 #include "dram/hbm4_config.h"
 #include "rome/rome_mc.h"
 #include "rome/rome_timing.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -23,18 +26,30 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
+    const auto stream = shareRequests(streamRequests({1_MiB, 8_KiB}));
+
+    std::vector<SweepJob> jobs;
+    for (const auto& d : VbaDesign::all()) {
+        jobs.push_back(SweepJob{
+            d.name(),
+            [dram, d] {
+                return std::make_unique<RomeMc>(dram, d, RomeMcConfig{});
+            },
+            stream});
+    }
+    const auto results = runSweep(std::move(jobs));
+
     Table t("VBA design space: performance, structures, timing, area");
     t.setHeader({"design", "BW (B/ns)", "tR2RS (ns)", "tRD_row (ns)",
                  "queue", "op+ref FSMs", "area overhead"});
+    std::size_t i = 0;
     for (const auto& d : VbaDesign::all()) {
-        RomeMc mc(dram, d, RomeMcConfig{});
-        std::uint64_t id = 1;
-        for (std::uint64_t off = 0; off < 1_MiB; off += 8_KiB)
-            mc.enqueue({id++, ReqKind::Read, off, 8_KiB, 0});
-        mc.drain();
+        const auto& res = results[i++];
         const VbaMap map(dram.org, dram.timing, d);
         const RomeTimingParams rt = deriveRomeTiming(dram.timing, map);
-        t.addRow({d.name(), Table::num(mc.effectiveBandwidth(), 1),
+        // The sweep keeps each controller alive for deep inspection.
+        const auto& mc = static_cast<const RomeMc&>(*res.mc);
+        t.addRow({d.name(), Table::num(res.stats.effectiveBandwidth, 1),
                   Table::num(nsFromTicks(rt.tR2RS), 0),
                   Table::num(nsFromTicks(rt.tRDrow), 0),
                   std::to_string(mc.config().queueDepth),

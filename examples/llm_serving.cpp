@@ -1,7 +1,8 @@
 /**
  * @file
  * LLM-serving walkthrough: pick a model, check how large a batch fits,
- * and compare decode TPOT and tokens/s on HBM4 versus RoMe.
+ * and compare decode TPOT and tokens/s on HBM4 versus RoMe. Both channel
+ * calibrations run concurrently on the engine's thread pool.
  *
  *   $ ./llm_serving [deepseek|grok|llama] [batch] [seq]
  */
@@ -46,11 +47,14 @@ main(int argc, char** argv)
 
     ChannelWorkloadProfile profile = profileFor(model);
     profile.totalBytes = 4ull << 20;
+    const auto [calib_base, calib_rome] = calibratePair(profile);
     const Workload wl{Stage::Decode, batch, seq, 1};
-    for (const MemorySystem sys : {MemorySystem::Hbm4, MemorySystem::RoMe}) {
-        const auto calib = calibrateChannel(sys, profile);
-        const auto res = evaluateStep(model, wl,
-                                      par,
+    const std::pair<MemorySystem, ChannelCalibration> systems[] = {
+        {MemorySystem::Hbm4, calib_base},
+        {MemorySystem::RoMe, calib_rome},
+    };
+    for (const auto& [sys, calib] : systems) {
+        const auto res = evaluateStep(model, wl, par,
                                       SystemEvalConfig::forSystem(sys,
                                                                   calib));
         std::printf("%-5s TPOT %.2f ms  (attn %.2f + ffn %.2f + other "

@@ -1,22 +1,28 @@
 /**
  * @file
- * Memory-system explorer: drive one channel of either system with a
- * configurable synthetic workload and inspect bandwidth, latency, row
- * hits, and command counts — the tool a memory-systems researcher would
- * reach for first.
+ * Memory-system explorer: drive one channel of any system with a
+ * configurable synthetic workload through the shared engine and inspect
+ * bandwidth, latency, row hits, and command counts — the tool a
+ * memory-systems researcher would reach for first.
  *
- *   $ ./memory_explorer [hbm4|rome] [stream|random] [reqBytes] [MiB]
+ *   $ ./memory_explorer [hbm4|rome|hybrid] [stream|random|sparse]
+ *                       [reqBytes] [MiB]
+ *
+ * Unknown system or pattern names are rejected (no silent fallback).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
-#include "common/random.h"
 #include "common/types.h"
 #include "dram/hbm4_config.h"
-#include "mc/mc.h"
+#include "rome/hybrid.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/memsim.h"
+#include "sim/workloads.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -24,22 +30,15 @@ using namespace rome::literals;
 namespace
 {
 
-std::vector<Request>
-makeWorkload(bool random_access, std::uint64_t req, std::uint64_t total,
-             std::uint64_t capacity)
+[[noreturn]] void
+usage(const char* bad)
 {
-    std::vector<Request> out;
-    Rng rng(1);
-    std::uint64_t id = 1;
-    for (std::uint64_t emitted = 0; emitted < total; emitted += req) {
-        const std::uint64_t addr = random_access
-            ? rng.below(capacity / req) * req
-            : emitted;
-        const bool write = rng.uniform() < 0.05;
-        out.push_back({id++, write ? ReqKind::Write : ReqKind::Read, addr,
-                       req, 0});
-    }
-    return out;
+    std::fprintf(stderr,
+                 "unknown argument \"%s\"\n"
+                 "usage: memory_explorer [hbm4|rome|hybrid] "
+                 "[stream|random|sparse] [reqBytes] [MiB]\n",
+                 bad);
+    std::exit(2);
 }
 
 } // namespace
@@ -47,8 +46,16 @@ makeWorkload(bool random_access, std::uint64_t req, std::uint64_t total,
 int
 main(int argc, char** argv)
 {
-    const bool use_rome = argc > 1 && !std::strcmp(argv[1], "rome");
-    const bool random_access = argc > 2 && !std::strcmp(argv[2], "random");
+    const char* sys_name = argc > 1 ? argv[1] : "hbm4";
+    const char* pattern = argc > 2 ? argv[2] : "stream";
+    const bool use_rome = !std::strcmp(sys_name, "rome");
+    const bool use_hybrid = !std::strcmp(sys_name, "hybrid");
+    if (!use_rome && !use_hybrid && std::strcmp(sys_name, "hbm4") != 0)
+        usage(sys_name);
+    if (std::strcmp(pattern, "stream") != 0 &&
+        std::strcmp(pattern, "random") != 0 &&
+        std::strcmp(pattern, "sparse") != 0)
+        usage(pattern);
     const std::uint64_t req = argc > 3
         ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 4096;
     const std::uint64_t total =
@@ -56,52 +63,77 @@ main(int argc, char** argv)
         << 20;
 
     const DramConfig dram = hbm4Config();
-    const auto reqs = makeWorkload(random_access, req, total,
-                                   dram.org.channelCapacity());
+    std::vector<Request> reqs;
+    if (!std::strcmp(pattern, "random")) {
+        RandomPattern p;
+        p.requestBytes = req;
+        p.totalBytes = total;
+        p.capacity = dram.org.channelCapacity();
+        p.writeFraction = 0.05;
+        reqs = randomRequests(p);
+    } else if (!std::strcmp(pattern, "sparse")) {
+        SparseMixPattern p;
+        p.fineBytes = req < 4096 ? req : 512;
+        p.totalBytes = total;
+        p.capacity = dram.org.channelCapacity();
+        reqs = sparseMixRequests(p);
+    } else {
+        StreamPattern p;
+        p.requestBytes = req;
+        p.totalBytes = total;
+        p.writeFraction = 0.05;
+        reqs = streamRequests(p);
+    }
 
     std::printf("%s | %s | %llu B requests | %llu MiB total\n",
-                use_rome ? "RoMe channel" : "HBM4 channel",
-                random_access ? "random" : "streaming",
+                use_rome ? "RoMe channel"
+                         : use_hybrid ? "hybrid channel pair"
+                                      : "HBM4 channel",
+                pattern,
                 static_cast<unsigned long long>(req),
                 static_cast<unsigned long long>(total >> 20));
 
-    if (use_rome) {
-        RomeMc mc(dram, VbaDesign::adopted(), RomeMcConfig{});
-        for (const auto& r : reqs)
-            mc.enqueue(r);
-        mc.drain();
-        const auto& c = mc.device().counters();
+    ChannelSimEngine engine;
+    std::unique_ptr<IMemoryController> ctrl;
+    if (use_hybrid)
+        ctrl = std::make_unique<HybridMc>(dram, HybridConfig{});
+    else
+        ctrl = makeChannelController(
+            use_rome ? MemorySystem::RoMe : MemorySystem::Hbm4, dram);
+    const int ch = engine.addChannel(std::move(ctrl));
+    engine.enqueue(ch, reqs);
+    engine.drainAll();
+
+    const IMemoryController& mc = engine.channel(ch);
+    const ControllerStats s = mc.stats();
+    if (use_rome || use_hybrid) {
         std::printf("effective BW %.1f B/ns | raw BW %.1f | overfetch "
                     "%.1f %%\n",
-                    mc.effectiveBandwidth(), mc.achievedBandwidth(),
-                    static_cast<double>(mc.overfetchBytes()) * 100.0 /
-                        static_cast<double>(mc.bytesRead() +
-                                            mc.bytesWritten() + 1));
-        std::printf("latency mean/max %.0f/%.0f ns | ACT %llu | REFpb "
-                    "%llu | interface row cmds %llu\n",
-                    mc.latencyNs().mean(), mc.latencyNs().max(),
-                    static_cast<unsigned long long>(c.acts.value()),
-                    static_cast<unsigned long long>(c.refPbs.value()),
-                    static_cast<unsigned long long>(
-                        mc.generator().rowCommandsAccepted()));
+                    s.effectiveBandwidth, s.achievedBandwidth,
+                    static_cast<double>(s.overfetchBytes) * 100.0 /
+                        static_cast<double>(s.totalBytes() + 1));
+    } else {
+        std::printf("BW %.1f B/ns | row-hit rate %.3f\n",
+                    s.achievedBandwidth, s.rowHitRate);
+    }
+    std::printf("latency mean/max %.0f/%.0f ns | ACT %llu | REFpb "
+                "%llu | interface cmds %llu\n",
+                s.latencyMeanNs, s.latencyMaxNs,
+                static_cast<unsigned long long>(s.acts),
+                static_cast<unsigned long long>(s.refPbs),
+                static_cast<unsigned long long>(s.interfaceCommands));
+    if (use_rome) {
+        // Deep, system-specific introspection stays available by
+        // downcasting the owned controller.
+        const auto& rm = static_cast<const RomeMc&>(mc);
         std::printf("FSM high-water: %d operating (≤2 expected), %d "
                     "refreshing (≤3 expected)\n",
-                    mc.operateFsmHighWater(), mc.refreshFsmHighWater());
-    } else {
-        ConventionalMc mc(dram, bestBaselineMapping(dram.org), McConfig{});
-        for (const auto& r : reqs)
-            mc.enqueue(r);
-        mc.drain();
-        const auto& c = mc.device().counters();
-        std::printf("BW %.1f B/ns | row-hit rate %.3f\n",
-                    mc.achievedBandwidth(), mc.rowHitRate());
-        std::printf("latency mean/max %.0f/%.0f ns | ACT %llu | REFpb "
-                    "%llu | interface cmds %llu\n",
-                    mc.latencyNs().mean(), mc.latencyNs().max(),
-                    static_cast<unsigned long long>(c.acts.value()),
-                    static_cast<unsigned long long>(c.refPbs.value()),
-                    static_cast<unsigned long long>(c.rowCmds.value() +
-                                                    c.colCmds.value()));
+                    rm.operateFsmHighWater(), rm.refreshFsmHighWater());
+    } else if (use_hybrid) {
+        const auto& hy = static_cast<const HybridMc&>(mc);
+        std::printf("coarse/fine split: %llu / %llu bytes\n",
+                    static_cast<unsigned long long>(hy.bytesCoarse()),
+                    static_cast<unsigned long long>(hy.bytesFine()));
     }
     return 0;
 }

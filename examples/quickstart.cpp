@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: build a RoMe channel, issue bulk reads and writes through
- * the row-granularity MC, and inspect what the command generator did.
+ * the shared simulation engine, and inspect what the command generator
+ * did.
  *
  *   $ ./quickstart
  */
@@ -12,6 +13,7 @@
 #include "common/types.h"
 #include "dram/hbm4_config.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -19,20 +21,28 @@ using namespace rome::literals;
 int
 main()
 {
-    // 1. One HBM4 channel organized as RoMe virtual banks (7d x 8b).
-    RomeMc mc(hbm4Config(), VbaDesign::adopted(), RomeMcConfig{});
+    // 1. One HBM4 channel organized as RoMe virtual banks (7d x 8b),
+    //    owned by the engine and driven through IMemoryController.
+    auto rome_mc = std::make_unique<RomeMc>(hbm4Config(),
+                                            VbaDesign::adopted(),
+                                            RomeMcConfig{});
+    const VbaMap& map = rome_mc->vbaMap();
     std::printf("channel: %d VBAs x %d rows of %s (AG_MC = %s)\n",
-                mc.vbaMap().vbasPerSid() *
-                    mc.vbaMap().deviceOrganization().sidsPerChannel,
-                mc.vbaMap().rowsPerVba(),
-                Table::bytes(mc.vbaMap().effectiveRowBytes()).c_str(),
-                Table::bytes(mc.vbaMap().effectiveRowBytes()).c_str());
+                map.vbasPerSid() *
+                    map.deviceOrganization().sidsPerChannel,
+                map.rowsPerVba(),
+                Table::bytes(map.effectiveRowBytes()).c_str(),
+                Table::bytes(map.effectiveRowBytes()).c_str());
+
+    ChannelSimEngine engine;
+    const int ch = engine.addChannel(std::move(rome_mc));
+    IMemoryController& mc = engine.channel(ch);
 
     // 2. Issue a 64 KB bulk read (what an accelerator DMA engine sends).
     mc.enqueue(Request{1, ReqKind::Read, 0, 64_KiB, 0});
     // ...and a 4 KB KV-cache append right behind it.
     mc.enqueue(Request{2, ReqKind::Write, 1_MiB, 4_KiB, 0});
-    mc.drain();
+    engine.drainAll();
 
     // 3. Results: completions, bandwidth, and the lowered command counts.
     for (const auto& c : mc.completions()) {
@@ -40,17 +50,16 @@ main()
                     static_cast<unsigned long long>(c.id),
                     nsFromTicks(c.finished));
     }
+    const ControllerStats s = mc.stats();
     std::printf("effective bandwidth: %.1f B/ns (peak 64)\n",
-                mc.effectiveBandwidth());
-    const auto& counters = mc.device().counters();
+                s.effectiveBandwidth);
     std::printf("the command generator lowered %llu row commands into "
                 "%llu ACT + %llu RD + %llu WR + %llu PRE\n",
-                static_cast<unsigned long long>(
-                    mc.generator().rowCommandsAccepted()),
-                static_cast<unsigned long long>(counters.acts.value()),
-                static_cast<unsigned long long>(counters.reads.value()),
-                static_cast<unsigned long long>(counters.writes.value()),
-                static_cast<unsigned long long>(counters.pres.value()));
-    std::printf("mean request latency: %.0f ns\n", mc.latencyNs().mean());
+                static_cast<unsigned long long>(s.interfaceCommands),
+                static_cast<unsigned long long>(s.acts),
+                static_cast<unsigned long long>(s.reads),
+                static_cast<unsigned long long>(s.writes),
+                static_cast<unsigned long long>(s.pres));
+    std::printf("mean request latency: %.0f ns\n", s.latencyMeanNs);
     return 0;
 }

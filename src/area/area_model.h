@@ -13,7 +13,7 @@
 #ifndef ROME_AREA_AREA_MODEL_H
 #define ROME_AREA_AREA_MODEL_H
 
-#include "mc/mc.h"
+#include "mc/complexity.h"
 
 namespace rome
 {

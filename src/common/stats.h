@@ -54,6 +54,21 @@ class Accumulator
 
     void reset() { *this = Accumulator{}; }
 
+    /** Fold another accumulator's samples into this one. */
+    void
+    merge(const Accumulator& o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (count_ == 0 || o.max_ > max_)
+            max_ = o.max_;
+        sum_ += o.sum_;
+        sumSq_ += o.sumSq_;
+        count_ += o.count_;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }

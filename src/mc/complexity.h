@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Controller-complexity introspection (Table IV).
+ *
+ * Lives in its own header so that the RoMe controller (and the shared
+ * simulation engine) can describe their scheduling structures without
+ * pulling in the whole conventional-MC header — mc/ and rome/ are peer
+ * layers and must not depend on each other.
+ */
+
+#ifndef ROME_MC_COMPLEXITY_H
+#define ROME_MC_COMPLEXITY_H
+
+#include <string>
+#include <vector>
+
+namespace rome
+{
+
+/** Summary of the scheduling-logic structures (Table IV). */
+struct McComplexity
+{
+    int numTimingParams;
+    int numBankFsms;
+    int numBankStates;
+    std::string pagePolicy;
+    std::vector<std::string> schedulingConcerns;
+    int requestQueueDepth;
+};
+
+} // namespace rome
+
+#endif // ROME_MC_COMPLEXITY_H

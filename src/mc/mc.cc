@@ -42,35 +42,18 @@ ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
                 u.pc = pc;
                 u.sid = sid;
                 const int idx = pc * cfg.org.sidsPerChannel + sid;
-                u.nextDue = interval * idx / units;
+                u.rot.interval = interval;
+                u.rot.due = interval * idx / units;
                 refreshUnits_.push_back(u);
             }
         }
     }
 }
 
-void
-ConventionalMc::enqueue(const Request& req)
-{
-    if (req.size == 0)
-        fatal("zero-size request");
-    const std::uint64_t col = dramCfg_.org.columnBytes;
-    const std::uint64_t first = req.addr / col;
-    const std::uint64_t last = (req.addr + req.size - 1) / col;
-    inflight_[req.id] = ReqState{req.kind, req.arrival,
-                                 static_cast<int>(last - first + 1)};
-    host_.push_back(req);
-}
-
 int
 ConventionalMc::pendingRefreshCount(const RefreshUnit& u) const
 {
-    if (now_ < u.nextDue)
-        return 0;
-    const Tick interval =
-        dramCfg_.timing.tREFIbank / dramCfg_.org.banksPerSid();
-    const auto n = 1 + (now_ - u.nextDue) / interval;
-    return static_cast<int>(std::min<Tick>(n, kRefreshPendingCap));
+    return u.rot.pendingCount(now_, kRefreshPendingCap);
 }
 
 bool
@@ -83,21 +66,12 @@ ConventionalMc::refreshBlocked(const DramAddress& a) const
             continue;
         if (pendingRefreshCount(u) < kRefreshForceAt)
             continue;
-        const int bg = u.bankCursor / dramCfg_.org.banksPerGroup;
-        const int ba = u.bankCursor % dramCfg_.org.banksPerGroup;
+        const int bg = u.rot.cursor / dramCfg_.org.banksPerGroup;
+        const int ba = u.rot.cursor % dramCfg_.org.banksPerGroup;
         if (bg == a.bg && ba == a.bank)
             return true;
     }
     return false;
-}
-
-void
-ConventionalMc::pumpArrivals()
-{
-    while (!host_.empty() && host_.front().arrival <= now_) {
-        if (!admitOps())
-            break;
-    }
 }
 
 bool
@@ -114,15 +88,15 @@ ConventionalMc::admitOps()
     const std::uint64_t last_line = (req.addr + req.size - 1) / col;
     const std::uint64_t total = last_line - first_line + 1;
 
-    while (frontOffset_ < total && queue.size() + outstanding.size() < depth) {
-        const std::uint64_t line = first_line + frontOffset_;
+    while (frontChunk_ < total && queue.size() + outstanding.size() < depth) {
+        const std::uint64_t line = first_line + frontChunk_;
         queue.push_back(Op{map_.decode(line * col), req.id, req.kind,
                            req.arrival});
-        ++frontOffset_;
+        ++frontChunk_;
     }
-    if (frontOffset_ == total) {
+    if (frontChunk_ == total) {
         host_.pop_front();
-        frontOffset_ = 0;
+        frontChunk_ = 0;
         return true;
     }
     return false;
@@ -139,8 +113,8 @@ ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
         DramAddress a;
         a.pc = u.pc;
         a.sid = u.sid;
-        a.bg = u.bankCursor / dramCfg_.org.banksPerGroup;
-        a.bank = u.bankCursor % dramCfg_.org.banksPerGroup;
+        a.bg = u.rot.cursor / dramCfg_.org.banksPerGroup;
+        a.bank = u.rot.cursor % dramCfg_.org.banksPerGroup;
 
         const bool forced = pending >= kRefreshForceAt;
         if (!forced) {
@@ -159,7 +133,7 @@ ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
         c.isRefresh = true;
         c.refreshUnit = static_cast<int>(i);
         c.priority = forced ? kPrioForced : kPrioRefresh;
-        c.age = u.nextDue; // most-overdue first among refresh ties
+        c.age = u.rot.due; // most-overdue first among refresh ties
         if (dev_.bankRecord(a).open()) {
             a.row = dev_.openRow(a);
             c.cmd = Command{CmdKind::Pre, a};
@@ -294,22 +268,14 @@ ConventionalMc::completeOp(const Op& op, Tick data_end)
         bytesRead_ += dramCfg_.org.columnBytes;
     else
         bytesWritten_ += dramCfg_.org.columnBytes;
-    auto it = inflight_.find(op.reqId);
-    if (it == inflight_.end())
-        panic("completion for unknown request %llu",
-              static_cast<unsigned long long>(op.reqId));
-    if (--it->second.opsRemaining == 0) {
-        completions_.push_back(Completion{op.reqId, data_end});
-        latencyNs_.sample(nsFromTicks(data_end - it->second.arrival));
-        inflight_.erase(it);
-    }
+    noteOpDone(op.reqId, data_end);
 }
 
 bool
 ConventionalMc::stepOnce(Tick until)
 {
-    std::erase_if(readOutstanding_, [&](Tick t) { return t <= now_; });
-    std::erase_if(writeOutstanding_, [&](Tick t) { return t <= now_; });
+    readOutstanding_.release(now_);
+    writeOutstanding_.release(now_);
     pumpArrivals();
 
     // Write-drain hysteresis.
@@ -336,21 +302,15 @@ ConventionalMc::stepOnce(Tick until)
         Tick next = kTickMax;
         if (!host_.empty()) {
             Tick admit_at = std::max(host_.front().arrival, now_ + 1);
-            Tick first_free = kTickMax;
-            for (const auto* outstanding :
-                 {&readOutstanding_, &writeOutstanding_}) {
-                for (Tick t : *outstanding) {
-                    if (t > now_)
-                        first_free = std::min(first_free, t);
-                }
-            }
+            Tick first_free = std::min(readOutstanding_.firstFreeAfter(now_),
+                                       writeOutstanding_.firstFreeAfter(now_));
             if (first_free != kTickMax)
                 admit_at = std::min(admit_at, std::max(now_ + 1, first_free));
             next = std::min(next, admit_at);
         }
         for (const auto& u : refreshUnits_) {
             if (pendingRefreshCount(u) == 0)
-                next = std::min(next, u.nextDue);
+                next = std::min(next, u.rot.due);
         }
         if (cfg_.pagePolicy == PagePolicy::Adaptive) {
             for (int pc = 0; pc < dramCfg_.org.pcsPerChannel; ++pc) {
@@ -408,47 +368,18 @@ ConventionalMc::stepOnce(Tick until)
         if (best->cmd.kind == CmdKind::RefPb) {
             RefreshUnit& u =
                 refreshUnits_[static_cast<std::size_t>(best->refreshUnit)];
-            u.bankCursor = (u.bankCursor + 1) % dramCfg_.org.banksPerSid();
-            const Tick interval =
-                dramCfg_.timing.tREFIbank / dramCfg_.org.banksPerSid();
-            u.nextDue += interval;
+            u.rot.advance(dramCfg_.org.banksPerSid());
         }
     } else if (best->cmd.kind == CmdKind::Rd || best->cmd.kind == CmdKind::Wr) {
         auto& queue = best->isWrite ? writeQ_ : readQ_;
         const Op op = queue[static_cast<std::size_t>(best->opIndex)];
         queue.erase(queue.begin() + best->opIndex);
         (best->isWrite ? writeOutstanding_ : readOutstanding_)
-            .push_back(res.dataUntil);
+            .push(res.dataUntil);
         ++casIssued_;
         completeOp(op, res.dataUntil);
     }
     return true;
-}
-
-void
-ConventionalMc::runUntil(Tick until)
-{
-    while (now_ < until) {
-        if (!stepOnce(until))
-            break;
-    }
-}
-
-Tick
-ConventionalMc::drain()
-{
-    while (!idle()) {
-        if (!stepOnce(kTickMax - 1))
-            break;
-    }
-    return dev_.lastDataEnd();
-}
-
-bool
-ConventionalMc::idle() const
-{
-    return host_.empty() && readQ_.empty() && writeQ_.empty() &&
-           inflight_.empty();
 }
 
 double
@@ -494,6 +425,19 @@ ConventionalMc::complexity() const
     c.requestQueueDepth = cfg_.readQueueDepth /
                           dramCfg_.org.pcsPerChannel;
     return c;
+}
+
+ControllerStats
+ConventionalMc::stats() const
+{
+    ControllerStats s;
+    fillBaseStats(s);
+    // Conventional MCs drive every DRAM command over the interface.
+    s.interfaceCommands = s.rowCmds + s.colCmds;
+    s.achievedBandwidth = achievedBandwidth();
+    s.effectiveBandwidth = s.achievedBandwidth;
+    s.rowHitRate = rowHitRate();
+    return s;
 }
 
 } // namespace rome

@@ -9,15 +9,18 @@
  *
  * The controller drives one ChannelDevice; every command it emits is
  * re-validated by the device against the full timing rule set.
+ *
+ * Host-request admission, in-flight/completion accounting, and the
+ * runUntil/drain loop live in ChannelControllerBase (sim/engine.h), which
+ * the RoMe controller shares; this class supplies the column-granularity
+ * scheduling.
  */
 
 #ifndef ROME_MC_MC_H
 #define ROME_MC_MC_H
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -25,7 +28,9 @@
 #include "dram/device.h"
 #include "dram/hbm4_config.h"
 #include "mc/addrmap.h"
+#include "mc/complexity.h"
 #include "mc/request.h"
+#include "sim/engine.h"
 
 namespace rome
 {
@@ -57,59 +62,31 @@ struct McConfig
     Tick adaptiveIdleTimeout = ticksFromNs(static_cast<std::int64_t>(100));
 };
 
-/** Summary of the scheduling-logic structures (Table IV). */
-struct McComplexity
-{
-    int numTimingParams;
-    int numBankFsms;
-    int numBankStates;
-    std::string pagePolicy;
-    std::vector<std::string> schedulingConcerns;
-    int requestQueueDepth;
-};
-
 /** Conventional column-granularity memory controller for one channel. */
-class ConventionalMc
+class ConventionalMc : public ChannelControllerBase
 {
   public:
     ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
                    McConfig mc_cfg);
 
-    /** Queue a host request (unbounded host-side buffer; FIFO admission). */
-    void enqueue(const Request& req);
+    std::string name() const override { return "hbm4"; }
 
-    /** Advance simulation until @p until or until fully idle. */
-    void runUntil(Tick until);
-
-    /** Run until every queued request completed; returns finish time. */
-    Tick drain();
-
-    /** True when no work is pending. */
-    bool idle() const;
-
-    Tick now() const { return now_; }
-
-    /** Completions in finish order (appended as requests retire). */
-    const std::vector<Completion>& completions() const { return completions_; }
-
-    const ChannelDevice& device() const { return dev_; }
+    const ChannelDevice& device() const override { return dev_; }
     const AddressMapping& mapping() const { return map_; }
     const McConfig& config() const { return cfg_; }
 
     // ---- Statistics ----------------------------------------------------
-    std::uint64_t bytesRead() const { return bytesRead_; }
-    std::uint64_t bytesWritten() const { return bytesWritten_; }
     /** Achieved data bandwidth over [0, now] in bytes/ns. */
     double achievedBandwidth() const;
     /** Fraction of column ops that hit an open row. */
     double rowHitRate() const;
-    /** Request latency statistics (ns). */
-    const Accumulator& latencyNs() const { return latencyNs_; }
     /** Read-queue occupancy sampled at each issued command. */
     const Accumulator& readQueueOccupancy() const { return readQOcc_; }
 
     /** Table IV introspection. */
-    McComplexity complexity() const;
+    McComplexity complexity() const override;
+
+    ControllerStats stats() const override;
 
   private:
     /** One cache-line-sized column operation. */
@@ -121,21 +98,12 @@ class ConventionalMc
         Tick arrival;
     };
 
-    /** Tracking of a partially decomposed / in-flight host request. */
-    struct ReqState
-    {
-        ReqKind kind;
-        Tick arrival;
-        int opsRemaining; // not yet completed
-    };
-
-    /** Per-(PC, SID) refresh rotation state. */
+    /** Per-(PC, SID) refresh rotation state (cursor walks the banks). */
     struct RefreshUnit
     {
         int pc;
         int sid;
-        Tick nextDue;
-        int bankCursor = 0;
+        RefreshRotation rot;
     };
 
     /** A schedulable command candidate. */
@@ -151,11 +119,16 @@ class ConventionalMc
         int refreshUnit = -1;
     };
 
-    void pumpArrivals();
-    bool admitOps();
+    bool admitOps() override;
+    std::uint64_t
+    admissionChunkBytes() const override
+    {
+        return dramCfg_.org.columnBytes;
+    }
+    bool stepOnce(Tick until) override;
+
     void collectRefreshCandidates(std::vector<Candidate>& out) const;
     void collectOpCandidates(std::vector<Candidate>& out) const;
-    bool stepOnce(Tick until);
     void completeOp(const Op& op, Tick data_end);
     int pendingRefreshCount(const RefreshUnit& u) const;
     bool refreshBlocked(const DramAddress& a) const;
@@ -165,29 +138,16 @@ class ConventionalMc
     McConfig cfg_;
     ChannelDevice dev_;
 
-    Tick now_ = 0;
-    std::deque<Request> host_;
-    /** Offset of the next not-yet-admitted byte of host_.front(). */
-    std::uint64_t frontOffset_ = 0;
     std::vector<Op> readQ_;
     std::vector<Op> writeQ_;
-    /**
-     * Data-return times of issued-but-incomplete column ops. A CAM entry
-     * tracks its transaction until data transfers, so these still count
-     * against the queue depth (this is what makes deep queues necessary
-     * for bank-parallelism, §V-A).
-     */
-    std::vector<Tick> readOutstanding_;
-    std::vector<Tick> writeOutstanding_;
+    /** CAM entries of issued-but-incomplete column ops (count against
+     *  queue depth until their data transfers). */
+    OutstandingOps readOutstanding_;
+    OutstandingOps writeOutstanding_;
     bool drainingWrites_ = false;
-    std::unordered_map<std::uint64_t, ReqState> inflight_;
     std::vector<RefreshUnit> refreshUnits_;
-    std::vector<Completion> completions_;
 
-    std::uint64_t bytesRead_ = 0;
-    std::uint64_t bytesWritten_ = 0;
     std::uint64_t casIssued_ = 0;
-    Accumulator latencyNs_;
     Accumulator readQOcc_;
 };
 

@@ -20,12 +20,87 @@ HybridMc::enqueue(const Request& req)
         fine_.enqueue(req);
 }
 
+void
+HybridMc::runUntil(Tick until)
+{
+    rome_.runUntil(until);
+    fine_.runUntil(until);
+}
+
 Tick
 HybridMc::drain()
 {
     const Tick a = rome_.drain();
     const Tick b = fine_.drain();
     return std::max(a, b);
+}
+
+bool
+HybridMc::idle() const
+{
+    return rome_.idle() && fine_.idle();
+}
+
+Tick
+HybridMc::now() const
+{
+    return std::max(rome_.now(), fine_.now());
+}
+
+const std::vector<Completion>&
+HybridMc::completions() const
+{
+    const auto& r = rome_.completions();
+    const auto& f = fine_.completions();
+    // Each partition appends in finish order, so merging only the
+    // not-yet-seen tails keeps the interface's append-only guarantee:
+    // entries handed out by an earlier call never move or disappear.
+    mergedCompletions_.reserve(r.size() + f.size());
+    while (romeMerged_ < r.size() || fineMerged_ < f.size()) {
+        const bool take_rome =
+            fineMerged_ == f.size() ||
+            (romeMerged_ < r.size() &&
+             r[romeMerged_].finished <= f[fineMerged_].finished);
+        mergedCompletions_.push_back(take_rome ? r[romeMerged_++]
+                                               : f[fineMerged_++]);
+    }
+    return mergedCompletions_;
+}
+
+const Accumulator&
+HybridMc::latencyNs() const
+{
+    mergedLatency_.reset();
+    mergedLatency_.merge(rome_.latencyNs());
+    mergedLatency_.merge(fine_.latencyNs());
+    return mergedLatency_;
+}
+
+McComplexity
+HybridMc::complexity() const
+{
+    const McComplexity r = rome_.complexity();
+    const McComplexity f = fine_.complexity();
+    McComplexity c;
+    c.numTimingParams = r.numTimingParams + f.numTimingParams;
+    c.numBankFsms = r.numBankFsms + f.numBankFsms;
+    c.numBankStates = std::max(r.numBankStates, f.numBankStates);
+    c.pagePolicy = f.pagePolicy + " (fine) / " + r.pagePolicy + " (coarse)";
+    c.schedulingConcerns = f.schedulingConcerns;
+    c.schedulingConcerns.insert(c.schedulingConcerns.end(),
+                                r.schedulingConcerns.begin(),
+                                r.schedulingConcerns.end());
+    c.requestQueueDepth = r.requestQueueDepth + f.requestQueueDepth;
+    return c;
+}
+
+ControllerStats
+HybridMc::stats() const
+{
+    ControllerStats s = rome_.stats();
+    s.accumulate(fine_.stats());
+    s.deriveBandwidths();
+    return s;
 }
 
 double

@@ -10,15 +10,21 @@
  * requests at or above the row threshold go to the RoMe partition,
  * sub-row requests to the conventional partition, each modeled by its own
  * channel controller.
+ *
+ * The router itself implements IMemoryController, so hybrid systems run
+ * through the same ChannelSimEngine harnesses as the homogeneous ones.
  */
 
 #ifndef ROME_ROME_HYBRID_H
 #define ROME_ROME_HYBRID_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
+#include "sim/engine.h"
 
 namespace rome
 {
@@ -33,16 +39,40 @@ struct HybridConfig
 };
 
 /** One RoMe channel + one conventional channel behind a size router. */
-class HybridMc
+class HybridMc : public IMemoryController
 {
   public:
     HybridMc(const DramConfig& base, HybridConfig cfg);
 
+    std::string name() const override { return "hybrid"; }
+
     /** Route a request by size (addresses are partition-local). */
-    void enqueue(const Request& req);
+    void enqueue(const Request& req) override;
+
+    void runUntil(Tick until) override;
 
     /** Drain both partitions; returns the later finish time. */
-    Tick drain();
+    Tick drain() override;
+
+    bool idle() const override;
+
+    /** Later of the two partitions' clocks. */
+    Tick now() const override;
+
+    /**
+     * Completions of both partitions merged in finish order. Append-only
+     * like the single-partition controllers: each call merges only the
+     * partitions' new tail entries onto the cached vector.
+     */
+    const std::vector<Completion>& completions() const override;
+
+    /** Merged latency statistics of both partitions. */
+    const Accumulator& latencyNs() const override;
+
+    /** Combined structures of the two partition controllers. */
+    McComplexity complexity() const override;
+
+    ControllerStats stats() const override;
 
     const RomeMc& romePartition() const { return rome_; }
     const ConventionalMc& finePartition() const { return fine_; }
@@ -70,6 +100,11 @@ class HybridMc
     HybridConfig cfg_;
     RomeMc rome_;
     ConventionalMc fine_;
+    mutable std::vector<Completion> mergedCompletions_;
+    /** How many entries of each partition are already merged. */
+    mutable std::size_t romeMerged_ = 0;
+    mutable std::size_t fineMerged_ = 0;
+    mutable Accumulator mergedLatency_;
 };
 
 } // namespace rome

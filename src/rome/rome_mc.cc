@@ -32,16 +32,16 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
         cfg_.operateFsms = static_cast<int>(
             (timing_.tRDrow + timing_.tR2RS - 1) / timing_.tR2RS);
     }
-    const int total_vbas = map_.vbasPerSid() *
-                           map_.deviceOrganization().sidsPerChannel;
-    refreshInterval_ = base.timing.tREFIbank / total_vbas;
+    totalVbas_ = map_.vbasPerSid() *
+                 map_.deviceOrganization().sidsPerChannel;
+    refresh_.interval = base.timing.tREFIbank / totalVbas_;
     if (cfg_.refreshFsms == 0) {
         // Average refresh concurrency: one VBA stall per interval.
         const VbaPlan plan = map_.plan(VbaAddress{0, 0, 0});
         const Tick stall = base.timing.tRFCpb +
             (plan.banks.size() == 2 ? base.timing.tRREFD : 0);
         const double demand = static_cast<double>(stall) /
-                              static_cast<double>(refreshInterval_);
+                              static_cast<double>(refresh_.interval);
         cfg_.refreshFsms = std::max(3, static_cast<int>(demand * 1.2) + 1);
     }
     opSlots_.resize(static_cast<std::size_t>(cfg_.operateFsms));
@@ -75,28 +75,6 @@ RomeMc::decodeRow(std::uint64_t addr) const
         break;
     }
     return a;
-}
-
-void
-RomeMc::enqueue(const Request& req)
-{
-    if (req.size == 0)
-        fatal("zero-size request");
-    const std::uint64_t eff = map_.effectiveRowBytes();
-    const std::uint64_t first = req.addr / eff;
-    const std::uint64_t last = (req.addr + req.size - 1) / eff;
-    inflight_[req.id] = ReqState{req.arrival,
-                                 static_cast<int>(last - first + 1)};
-    host_.push_back(req);
-}
-
-void
-RomeMc::pumpArrivals()
-{
-    while (!host_.empty() && host_.front().arrival <= now_) {
-        if (!admitOps())
-            break;
-    }
 }
 
 bool
@@ -172,7 +150,7 @@ RomeMc::retireSlots(Tick at)
 Tick
 RomeMc::nextRefreshDue() const
 {
-    return cfg_.refreshEnabled ? refreshDue_ : kTickMax;
+    return cfg_.refreshEnabled ? refresh_.due : kTickMax;
 }
 
 VbaState
@@ -196,17 +174,17 @@ RomeMc::vbaState(const VbaAddress& a, Tick at) const
 bool
 RomeMc::stepOnce(Tick until)
 {
-    std::erase_if(outstanding_, [&](Tick t) { return t <= now_; });
+    outstanding_.release(now_);
     pumpArrivals();
     retireSlots(now_);
 
     // --- Refresh: one VBA pair-refresh per interval, rotating (§V-B) ----
     std::optional<VbaAddress> refresh_target;
-    if (cfg_.refreshEnabled && now_ >= refreshDue_) {
+    if (cfg_.refreshEnabled && now_ >= refresh_.due) {
         const int v = map_.vbasPerSid();
         VbaAddress t;
-        t.vba = refreshCursor_ % v;
-        t.sid = (refreshCursor_ / v) %
+        t.vba = refresh_.cursor % v;
+        t.sid = (refresh_.cursor / v) %
                 map_.deviceOrganization().sidsPerChannel;
         refresh_target = t;
         if (!vbaBusy(t, now_) &&
@@ -220,8 +198,7 @@ RomeMc::stepOnce(Tick until)
             }
             refHighWater_ = std::max(refHighWater_,
                                      busyCount(refSlots_, now_));
-            ++refreshCursor_;
-            refreshDue_ += refreshInterval_;
+            refresh_.advance(totalVbas_);
             return true;
         }
     }
@@ -286,7 +263,7 @@ RomeMc::stepOnce(Tick until)
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best_idx));
         const auto res = gen_.execute(op.cmd, at);
         now_ = at;
-        outstanding_.push_back(res.dataUntil);
+        outstanding_.push(res.dataUntil);
 
         for (auto& s : opSlots_) {
             if (s.busyUntil == kTickInvalid || s.busyUntil <= at) {
@@ -309,15 +286,7 @@ RomeMc::stepOnce(Tick until)
             bytesRead_ += op.usefulBytes;
         overfetch_ += res.bytes - op.usefulBytes;
 
-        auto it = inflight_.find(op.reqId);
-        if (it == inflight_.end())
-            panic("completion for unknown request");
-        if (--it->second.opsRemaining == 0) {
-            completions_.push_back(Completion{op.reqId, res.dataUntil});
-            latencyNs_.sample(nsFromTicks(res.dataUntil -
-                                          it->second.arrival));
-            inflight_.erase(it);
-        }
+        noteOpDone(op.reqId, res.dataUntil);
         return true;
     }
 
@@ -328,12 +297,8 @@ RomeMc::stepOnce(Tick until)
         if (queue_.size() + outstanding_.size() >=
             static_cast<std::size_t>(cfg_.queueDepth)) {
             // Admission is queue-bound: wake when the first entry frees.
-            Tick first_free = kTickMax;
-            for (Tick t : outstanding_) {
-                if (t > now_)
-                    first_free = std::min(first_free, t);
-            }
-            admit_at = std::max(admit_at, first_free);
+            admit_at = std::max(admit_at,
+                                outstanding_.firstFreeAfter(now_));
         }
         next = std::min(next, admit_at);
     }
@@ -353,31 +318,6 @@ RomeMc::stepOnce(Tick until)
     }
     now_ = next;
     return true;
-}
-
-void
-RomeMc::runUntil(Tick until)
-{
-    while (now_ < until) {
-        if (!stepOnce(until))
-            break;
-    }
-}
-
-Tick
-RomeMc::drain()
-{
-    while (!idle()) {
-        if (!stepOnce(kTickMax - 1))
-            break;
-    }
-    return dev_.lastDataEnd();
-}
-
-bool
-RomeMc::idle() const
-{
-    return host_.empty() && queue_.empty() && inflight_.empty();
 }
 
 double
@@ -411,6 +351,20 @@ RomeMc::complexity() const
     c.schedulingConcerns = {"VBA interleaving"};
     c.requestQueueDepth = cfg_.queueDepth;
     return c;
+}
+
+ControllerStats
+RomeMc::stats() const
+{
+    ControllerStats s;
+    fillBaseStats(s);
+    s.overfetchBytes = overfetch_;
+    // Only row-level commands cross the MC↔HBM interface (REF counts too);
+    // the command generator expands them on the logic die.
+    s.interfaceCommands = gen_.rowCommandsAccepted();
+    s.achievedBandwidth = achievedBandwidth();
+    s.effectiveBandwidth = effectiveBandwidth();
+    return s;
 }
 
 } // namespace rome

@@ -15,28 +15,31 @@
  *
  * Requests are split into effective-row-sized (4 KB) operations; partially
  * covered rows are transferred whole and counted as overfetch.
+ *
+ * Host-request admission, in-flight/completion accounting, and the
+ * runUntil/drain loop live in ChannelControllerBase (sim/engine.h), shared
+ * with the conventional controller.
  */
 
 #ifndef ROME_ROME_ROME_MC_H
 #define ROME_ROME_ROME_MC_H
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/device.h"
 #include "dram/hbm4_config.h"
-#include "mc/mc.h" // McComplexity
+#include "mc/complexity.h"
 #include "mc/request.h"
 #include "rome/cmdgen.h"
 #include "rome/rome_command.h"
 #include "rome/rome_timing.h"
 #include "rome/vba.h"
+#include "sim/engine.h"
 
 namespace rome
 {
@@ -85,26 +88,15 @@ enum class RomeMapOrder
 };
 
 /** Row-granularity memory controller for one channel. */
-class RomeMc
+class RomeMc : public ChannelControllerBase
 {
   public:
     RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
            RomeMapOrder map_order = RomeMapOrder::VbaSidRow);
 
-    /** Queue a host request (unbounded host-side buffer; FIFO admission). */
-    void enqueue(const Request& req);
+    std::string name() const override { return "rome"; }
 
-    /** Advance simulation until @p until or until fully idle. */
-    void runUntil(Tick until);
-
-    /** Run until every queued request completed; returns last data tick. */
-    Tick drain();
-
-    bool idle() const;
-    Tick now() const { return now_; }
-
-    const std::vector<Completion>& completions() const { return completions_; }
-    const ChannelDevice& device() const { return dev_; }
+    const ChannelDevice& device() const override { return dev_; }
     const VbaMap& vbaMap() const { return map_; }
     const CommandGenerator& generator() const { return gen_; }
     const RomeMcConfig& config() const { return cfg_; }
@@ -118,21 +110,20 @@ class RomeMc
     VbaState vbaState(const VbaAddress& a, Tick at) const;
 
     // ---- Statistics -------------------------------------------------------
-    std::uint64_t bytesRead() const { return bytesRead_; }
-    std::uint64_t bytesWritten() const { return bytesWritten_; }
     /** Bytes moved beyond what requests asked for (row-granularity cost). */
     std::uint64_t overfetchBytes() const { return overfetch_; }
     double achievedBandwidth() const;
     /** Bandwidth counting only requested (useful) bytes. */
     double effectiveBandwidth() const;
-    const Accumulator& latencyNs() const { return latencyNs_; }
     /** Highest number of simultaneously operating VBAs observed. */
     int operateFsmHighWater() const { return opHighWater_; }
     /** Highest number of simultaneously refreshing VBAs observed. */
     int refreshFsmHighWater() const { return refHighWater_; }
 
     /** Table IV introspection. */
-    McComplexity complexity() const;
+    McComplexity complexity() const override;
+
+    ControllerStats stats() const override;
 
   private:
     /** One queued row operation. */
@@ -152,15 +143,14 @@ class RomeMc
         VbaState state = VbaState::Idle;
     };
 
-    struct ReqState
+    bool admitOps() override;
+    std::uint64_t
+    admissionChunkBytes() const override
     {
-        Tick arrival;
-        int opsRemaining;
-    };
+        return map_.effectiveRowBytes();
+    }
+    bool stepOnce(Tick until) override;
 
-    void pumpArrivals();
-    bool admitOps();
-    bool stepOnce(Tick until);
     bool vbaBusy(const VbaAddress& a, Tick at) const;
     int busyCount(const std::vector<FsmSlot>& slots, Tick at) const;
     void retireSlots(Tick at);
@@ -174,20 +164,12 @@ class RomeMc
     ChannelDevice dev_;
     CommandGenerator gen_;
 
-    Tick now_ = 0;
-    std::deque<Request> host_;
-    std::uint64_t frontChunk_ = 0;
     std::vector<RowOp> queue_;
-    /**
-     * Data-return times of issued-but-incomplete operations. A queue entry
-     * tracks its request until the data transfer finishes (CAM semantics),
-     * so these still count against queueDepth.
-     */
-    std::vector<Tick> outstanding_;
+    /** CAM entries of issued-but-incomplete row ops (count against
+     *  queueDepth until their data transfers). */
+    OutstandingOps outstanding_;
     std::vector<FsmSlot> opSlots_;
     std::vector<FsmSlot> refSlots_;
-    std::unordered_map<std::uint64_t, ReqState> inflight_;
-    std::vector<Completion> completions_;
 
     /** Last issued data command, for Table III gap bookkeeping. */
     Tick lastRowCmdAt_ = kTickInvalid;
@@ -196,14 +178,10 @@ class RomeMc
     std::optional<VbaAddress> lastRowCmdVba_;
 
     /** Refresh rotation across all (SID, VBA) pairs of the channel. */
-    Tick refreshDue_ = 0;
-    int refreshCursor_ = 0;
-    Tick refreshInterval_ = 0;
+    RefreshRotation refresh_;
+    int totalVbas_ = 0;
 
-    std::uint64_t bytesRead_ = 0;
-    std::uint64_t bytesWritten_ = 0;
     std::uint64_t overfetch_ = 0;
-    Accumulator latencyNs_;
     int opHighWater_ = 0;
     int refHighWater_ = 0;
 };

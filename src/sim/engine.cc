@@ -1,0 +1,294 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+bool
+ControllerStats::operator==(const ControllerStats& o) const
+{
+    return bytesRead == o.bytesRead && bytesWritten == o.bytesWritten &&
+           overfetchBytes == o.overfetchBytes &&
+           completedRequests == o.completedRequests && acts == o.acts &&
+           pres == o.pres && reads == o.reads && writes == o.writes &&
+           refPbs == o.refPbs && refAbs == o.refAbs &&
+           rowCmds == o.rowCmds && colCmds == o.colCmds &&
+           interfaceCommands == o.interfaceCommands &&
+           finishedAt == o.finishedAt &&
+           achievedBandwidth == o.achievedBandwidth &&
+           effectiveBandwidth == o.effectiveBandwidth &&
+           rowHitRate == o.rowHitRate && latencyMeanNs == o.latencyMeanNs &&
+           latencyMaxNs == o.latencyMaxNs;
+}
+
+void
+ControllerStats::accumulate(const ControllerStats& o)
+{
+    // Weighted means need the pre-add weights of both sides.
+    const double lat_w = static_cast<double>(completedRequests) +
+                         static_cast<double>(o.completedRequests);
+    if (lat_w > 0.0) {
+        latencyMeanNs =
+            (latencyMeanNs * static_cast<double>(completedRequests) +
+             o.latencyMeanNs * static_cast<double>(o.completedRequests)) /
+            lat_w;
+    }
+    const double col_w = static_cast<double>(colCmds) +
+                         static_cast<double>(o.colCmds);
+    if (col_w > 0.0) {
+        rowHitRate = (rowHitRate * static_cast<double>(colCmds) +
+                      o.rowHitRate * static_cast<double>(o.colCmds)) /
+                     col_w;
+    }
+    bytesRead += o.bytesRead;
+    bytesWritten += o.bytesWritten;
+    overfetchBytes += o.overfetchBytes;
+    completedRequests += o.completedRequests;
+    acts += o.acts;
+    pres += o.pres;
+    reads += o.reads;
+    writes += o.writes;
+    refPbs += o.refPbs;
+    refAbs += o.refAbs;
+    rowCmds += o.rowCmds;
+    colCmds += o.colCmds;
+    interfaceCommands += o.interfaceCommands;
+    finishedAt = std::max(finishedAt, o.finishedAt);
+    latencyMaxNs = std::max(latencyMaxNs, o.latencyMaxNs);
+}
+
+void
+ControllerStats::deriveBandwidths()
+{
+    if (finishedAt == 0)
+        return;
+    const double ns = nsFromTicks(finishedAt);
+    achievedBandwidth =
+        static_cast<double>(totalBytes() + overfetchBytes) / ns;
+    effectiveBandwidth = static_cast<double>(totalBytes()) / ns;
+}
+
+// ---------------------------------------------------------------------------
+// ChannelControllerBase
+// ---------------------------------------------------------------------------
+
+void
+ChannelControllerBase::enqueue(const Request& req)
+{
+    if (req.size == 0)
+        fatal("zero-size request");
+    const std::uint64_t chunk = admissionChunkBytes();
+    const std::uint64_t first = req.addr / chunk;
+    const std::uint64_t last = (req.addr + req.size - 1) / chunk;
+    inflight_[req.id] = ReqState{req.arrival,
+                                 static_cast<int>(last - first + 1)};
+    host_.push_back(req);
+}
+
+void
+ChannelControllerBase::pumpArrivals()
+{
+    while (!host_.empty() && host_.front().arrival <= now_) {
+        if (!admitOps())
+            break;
+    }
+}
+
+void
+ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
+{
+    auto it = inflight_.find(req_id);
+    if (it == inflight_.end())
+        panic("completion for unknown request %llu",
+              static_cast<unsigned long long>(req_id));
+    if (--it->second.opsRemaining == 0) {
+        completions_.push_back(Completion{req_id, data_end});
+        latencyNs_.sample(nsFromTicks(data_end - it->second.arrival));
+        inflight_.erase(it);
+    }
+}
+
+void
+ChannelControllerBase::runUntil(Tick until)
+{
+    while (now_ < until) {
+        if (!stepOnce(until))
+            break;
+    }
+}
+
+Tick
+ChannelControllerBase::drain()
+{
+    while (!idle()) {
+        if (!stepOnce(kTickMax - 1))
+            break;
+    }
+    return device().lastDataEnd();
+}
+
+bool
+ChannelControllerBase::idle() const
+{
+    // Every queued or outstanding operation belongs to an in-flight
+    // request, so an empty in-flight map implies empty op queues.
+    return host_.empty() && inflight_.empty();
+}
+
+void
+ChannelControllerBase::fillBaseStats(ControllerStats& s) const
+{
+    s.bytesRead = bytesRead_;
+    s.bytesWritten = bytesWritten_;
+    s.completedRequests = completions_.size();
+    s.latencyMeanNs = latencyNs_.mean();
+    s.latencyMaxNs = latencyNs_.max();
+    const auto& c = device().counters();
+    s.acts = c.acts.value();
+    s.pres = c.pres.value();
+    s.reads = c.reads.value();
+    s.writes = c.writes.value();
+    s.refPbs = c.refPbs.value();
+    s.refAbs = c.refAbs.value();
+    s.rowCmds = c.rowCmds.value();
+    s.colCmds = c.colCmds.value();
+    s.finishedAt = device().lastDataEnd();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution substrate
+// ---------------------------------------------------------------------------
+
+int
+defaultSimThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+parallelFor(int n, int threads, const std::function<void(int)>& fn)
+{
+    if (n <= 0)
+        return;
+    const int workers = std::min(std::max(threads, 1), n);
+    if (workers == 1) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<int> next{0};
+    const auto worker = [&] {
+        for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+            fn(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+}
+
+// ---------------------------------------------------------------------------
+// ChannelSimEngine
+// ---------------------------------------------------------------------------
+
+int
+ChannelSimEngine::addChannel(std::unique_ptr<IMemoryController> mc)
+{
+    if (!mc)
+        fatal("null controller added to engine");
+    channels_.push_back(std::move(mc));
+    return static_cast<int>(channels_.size()) - 1;
+}
+
+void
+ChannelSimEngine::enqueue(int idx, const Request& req)
+{
+    channels_.at(static_cast<std::size_t>(idx))->enqueue(req);
+}
+
+void
+ChannelSimEngine::enqueue(int idx, const std::vector<Request>& reqs)
+{
+    auto& mc = *channels_.at(static_cast<std::size_t>(idx));
+    for (const auto& r : reqs)
+        mc.enqueue(r);
+}
+
+Tick
+ChannelSimEngine::drainAll()
+{
+    std::vector<Tick> ends(channels_.size(), 0);
+    parallelFor(numChannels(), threads_,
+                [&](int i) { ends[static_cast<std::size_t>(i)] =
+                                 channels_[static_cast<std::size_t>(i)]
+                                     ->drain(); });
+    Tick last = 0;
+    for (const Tick t : ends)
+        last = std::max(last, t);
+    return last;
+}
+
+void
+ChannelSimEngine::runAllUntil(Tick until)
+{
+    parallelFor(numChannels(), threads_,
+                [&](int i) { channels_[static_cast<std::size_t>(i)]
+                                 ->runUntil(until); });
+}
+
+bool
+ChannelSimEngine::idle() const
+{
+    for (const auto& c : channels_) {
+        if (!c->idle())
+            return false;
+    }
+    return true;
+}
+
+ControllerStats
+ChannelSimEngine::totals() const
+{
+    ControllerStats sum;
+    for (const auto& c : channels_)
+        sum.accumulate(c->stats());
+    sum.deriveBandwidths();
+    return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Workload drivers and design-space sweeps
+// ---------------------------------------------------------------------------
+
+ControllerStats
+runWorkload(IMemoryController& mc, const std::vector<Request>& reqs)
+{
+    for (const auto& r : reqs)
+        mc.enqueue(r);
+    mc.drain();
+    return mc.stats();
+}
+
+std::vector<SweepOutcome>
+runSweep(std::vector<SweepJob> jobs, int threads)
+{
+    std::vector<SweepOutcome> out(jobs.size());
+    parallelFor(static_cast<int>(jobs.size()), threads, [&](int i) {
+        auto& job = jobs[static_cast<std::size_t>(i)];
+        auto& res = out[static_cast<std::size_t>(i)];
+        res.label = job.label;
+        res.mc = job.make();
+        res.stats = runWorkload(*res.mc, *job.requests);
+    });
+    return out;
+}
+
+} // namespace rome

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * The shared channel-simulation engine and the polymorphic controller
+ * interface both memory-controller stacks implement.
+ *
+ * Layering: this header sits *below* mc/ and rome/ — it depends only on
+ * the common substrate, the DRAM device, and the request/complexity value
+ * types. The concrete controllers (ConventionalMc, RomeMc, HybridMc)
+ * implement IMemoryController; everything above them (sim drivers, bench
+ * harnesses, examples, tests) drives controllers exclusively through this
+ * interface via ChannelSimEngine, so a new scheduler or a new memory
+ * system plugs into every harness by adding one factory.
+ *
+ * Components:
+ *  - IMemoryController: enqueue / runUntil(tick) / drain / stats /
+ *    complexity — the full contract of a per-channel controller.
+ *  - ControllerStats: one flat, comparable snapshot of everything the
+ *    harnesses consume (bytes, commands, bandwidths, latency, overfetch).
+ *  - ChannelControllerBase: the code that used to be duplicated between
+ *    src/mc/mc.cc and src/rome/rome_mc.cc — host-request admission,
+ *    in-flight/completion/latency accounting, CAM-style outstanding-entry
+ *    occupancy, per-bank refresh rotation, and the runUntil/drain loop.
+ *  - ChannelSimEngine: owns N independent channels and drives them —
+ *    optionally on a std::thread pool, since per-channel simulations are
+ *    embarrassingly parallel.
+ *  - runSweep: multi-config design-space sweeps (one controller + one
+ *    workload per job) on the same thread pool.
+ */
+
+#ifndef ROME_SIM_ENGINE_H
+#define ROME_SIM_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/device.h"
+#include "mc/complexity.h"
+#include "mc/request.h"
+
+namespace rome
+{
+
+/**
+ * Uniform statistics snapshot of one controller run. Field-for-field
+ * comparable (operator==) so the determinism tests can assert that a
+ * threaded sweep reproduces the single-threaded result exactly.
+ */
+struct ControllerStats
+{
+    // ---- data movement --------------------------------------------------
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    /** Bytes moved beyond what requests asked for (row-granularity cost). */
+    std::uint64_t overfetchBytes = 0;
+    std::uint64_t completedRequests = 0;
+
+    // ---- device command counts ------------------------------------------
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refPbs = 0;
+    std::uint64_t refAbs = 0;
+    std::uint64_t rowCmds = 0;
+    std::uint64_t colCmds = 0;
+    /** Commands crossing the MC↔HBM C/A interface. */
+    std::uint64_t interfaceCommands = 0;
+
+    // ---- derived --------------------------------------------------------
+    /** Last data-transfer end tick. */
+    Tick finishedAt = 0;
+    /** Transferred (incl. overfetch) bytes / ns over [0, finishedAt). */
+    double achievedBandwidth = 0.0;
+    /** Useful (requested) bytes / ns — equals achieved when no overfetch. */
+    double effectiveBandwidth = 0.0;
+    /** Fraction of column ops hitting an open row (conventional only). */
+    double rowHitRate = 0.0;
+    double latencyMeanNs = 0.0;
+    double latencyMaxNs = 0.0;
+
+    std::uint64_t totalBytes() const { return bytesRead + bytesWritten; }
+
+    /**
+     * Sum @p o into this snapshot: counters add, finishedAt/latencyMaxNs
+     * take the max, latencyMeanNs is weighted by completed requests and
+     * rowHitRate by column commands. Derived bandwidths are left stale —
+     * call deriveBandwidths() once after the last accumulate.
+     */
+    void accumulate(const ControllerStats& o);
+
+    /** Re-derive achieved/effective bandwidth from bytes and finishedAt. */
+    void deriveBandwidths();
+
+    bool operator==(const ControllerStats& o) const;
+    bool operator!=(const ControllerStats& o) const { return !(*this == o); }
+};
+
+/** Polymorphic contract of a per-channel memory controller. */
+class IMemoryController
+{
+  public:
+    virtual ~IMemoryController() = default;
+
+    /** Human-readable controller identity ("hbm4", "rome", "hybrid"). */
+    virtual std::string name() const = 0;
+
+    /** Queue a host request (unbounded host-side buffer; FIFO admission). */
+    virtual void enqueue(const Request& req) = 0;
+
+    /** Advance simulation until @p until or until fully idle. */
+    virtual void runUntil(Tick until) = 0;
+
+    /** Run until every queued request completed; returns last data tick. */
+    virtual Tick drain() = 0;
+
+    /** True when no work is pending. */
+    virtual bool idle() const = 0;
+
+    virtual Tick now() const = 0;
+
+    /** Completions in finish order (appended as requests retire). */
+    virtual const std::vector<Completion>& completions() const = 0;
+
+    /** Request latency statistics (ns). */
+    virtual const Accumulator& latencyNs() const = 0;
+
+    /** Table IV introspection. */
+    virtual McComplexity complexity() const = 0;
+
+    /** Flat snapshot of everything the harnesses consume. */
+    virtual ControllerStats stats() const = 0;
+};
+
+/** Factory producing a fresh controller (one per sweep job / channel). */
+using ControllerFactory = std::function<std::unique_ptr<IMemoryController>()>;
+
+/**
+ * Per-bank / per-VBA refresh rotation shared by both controllers: a due
+ * time advancing by a fixed interval and a cursor walking the refresh
+ * targets round-robin. Postponement is bounded by counting how many
+ * intervals the rotation has fallen behind.
+ */
+struct RefreshRotation
+{
+    Tick interval = 0;
+    Tick due = 0;
+    int cursor = 0;
+
+    /** Refreshes owed at @p now, saturated at @p cap. */
+    int
+    pendingCount(Tick now, int cap) const
+    {
+        if (now < due)
+            return 0;
+        const Tick n = 1 + (now - due) / interval;
+        return static_cast<int>(n < static_cast<Tick>(cap) ? n : cap);
+    }
+
+    /** Account one issued refresh: step the cursor and push the due time. */
+    void
+    advance(int num_targets)
+    {
+        cursor = (cursor + 1) % num_targets;
+        due += interval;
+    }
+};
+
+/**
+ * CAM-occupancy bookkeeping for issued-but-incomplete operations. An entry
+ * tracks its transaction until the data transfers, so outstanding entries
+ * still count against the queue depth (this is what makes deep queues
+ * necessary for bank-parallelism, §V-A).
+ */
+class OutstandingOps
+{
+  public:
+    /** Release every entry whose data transfer ended by @p now. */
+    void
+    release(Tick now)
+    {
+        std::size_t kept = 0;
+        for (const Tick t : ticks_) {
+            if (t > now)
+                ticks_[kept++] = t;
+        }
+        ticks_.resize(kept);
+    }
+
+    void push(Tick data_end) { ticks_.push_back(data_end); }
+
+    std::size_t size() const { return ticks_.size(); }
+
+    /** Earliest strictly-future release, or kTickMax when none. */
+    Tick
+    firstFreeAfter(Tick now) const
+    {
+        Tick first = kTickMax;
+        for (const Tick t : ticks_) {
+            if (t > now && t < first)
+                first = t;
+        }
+        return first;
+    }
+
+  private:
+    std::vector<Tick> ticks_;
+};
+
+/**
+ * Shared implementation base of the per-channel controllers: everything
+ * that was duplicated between the conventional and the RoMe stack.
+ *
+ * A subclass supplies the scheduling itself (stepOnce), the decomposition
+ * of host requests into queue operations (admitOps + admissionChunkBytes)
+ * and its device; the base runs the host-side admission pump, tracks
+ * in-flight requests, records completions and latency, and owns the
+ * runUntil / drain / idle driver loop.
+ */
+class ChannelControllerBase : public IMemoryController
+{
+  public:
+    void enqueue(const Request& req) final;
+    void runUntil(Tick until) final;
+    Tick drain() final;
+    bool idle() const override;
+    Tick now() const final { return now_; }
+    const std::vector<Completion>&
+    completions() const final
+    {
+        return completions_;
+    }
+    const Accumulator& latencyNs() const final { return latencyNs_; }
+
+    /** The timing-enforcing device this controller drives. */
+    virtual const ChannelDevice& device() const = 0;
+
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  protected:
+    /** Host-request progress tracking. */
+    struct ReqState
+    {
+        Tick arrival;
+        int opsRemaining; // not yet completed
+    };
+
+    /**
+     * One scheduling step. Must either advance now_ (issuing a command or
+     * jumping to the next event) and return true, or clamp now_ to
+     * @p until and return false when nothing can happen before it.
+     */
+    virtual bool stepOnce(Tick until) = 0;
+
+    /**
+     * Admit operations of host_.front() into the subclass's request queue.
+     * Returns true when the whole request was admitted (and popped).
+     */
+    virtual bool admitOps() = 0;
+
+    /** Operation granularity requests decompose into (column / eff. row). */
+    virtual std::uint64_t admissionChunkBytes() const = 0;
+
+    /** Admit from the host buffer while requests have arrived. */
+    void pumpArrivals();
+
+    /**
+     * Account one finished operation of request @p req_id; records the
+     * completion and samples latency when it was the last one.
+     */
+    void noteOpDone(std::uint64_t req_id, Tick data_end);
+
+    /** Fill the base-owned fields of @p s (bytes, latency, bandwidth). */
+    void fillBaseStats(ControllerStats& s) const;
+
+    Tick now_ = 0;
+    std::deque<Request> host_;
+    /** Next not-yet-admitted chunk index of host_.front(). */
+    std::uint64_t frontChunk_ = 0;
+    std::unordered_map<std::uint64_t, ReqState> inflight_;
+    std::vector<Completion> completions_;
+    Accumulator latencyNs_;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel execution substrate
+// ---------------------------------------------------------------------------
+
+/** Worker count for parallel sweeps: hardware concurrency, at least 1. */
+int defaultSimThreads();
+
+/**
+ * Run fn(0..n-1) on up to @p threads std::threads. Work is pulled from an
+ * atomic index, results must be written to per-index slots — determinism
+ * is then structural. threads <= 1 degenerates to a plain loop.
+ */
+void parallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+// ---------------------------------------------------------------------------
+// ChannelSimEngine
+// ---------------------------------------------------------------------------
+
+/**
+ * Owns N independent channel controllers and drives them through the
+ * interface. Channels never share state, so drainAll / runAllUntil spread
+ * them across a thread pool; per-channel results are independent of the
+ * thread count.
+ */
+class ChannelSimEngine
+{
+  public:
+    /** @param threads Worker threads for multi-channel operations. */
+    explicit ChannelSimEngine(int threads = 1) : threads_(threads) {}
+
+    /** Take ownership of @p mc; returns its channel index. */
+    int addChannel(std::unique_ptr<IMemoryController> mc);
+
+    int numChannels() const { return static_cast<int>(channels_.size()); }
+
+    IMemoryController& channel(int idx) { return *channels_.at(idx); }
+    const IMemoryController&
+    channel(int idx) const
+    {
+        return *channels_.at(idx);
+    }
+
+    /** Queue one request on channel @p idx. */
+    void enqueue(int idx, const Request& req);
+
+    /** Queue a whole per-channel request list on channel @p idx. */
+    void enqueue(int idx, const std::vector<Request>& reqs);
+
+    /** Drain every channel; returns the latest finish tick. */
+    Tick drainAll();
+
+    /** Advance every channel to @p until. */
+    void runAllUntil(Tick until);
+
+    bool idle() const;
+
+    /** Sum of all channels' stats (bandwidths re-derived from totals). */
+    ControllerStats totals() const;
+
+    int threads() const { return threads_; }
+    void setThreads(int threads) { threads_ = threads; }
+
+  private:
+    int threads_;
+    std::vector<std::unique_ptr<IMemoryController>> channels_;
+};
+
+// ---------------------------------------------------------------------------
+// Workload drivers and design-space sweeps
+// ---------------------------------------------------------------------------
+
+/** Enqueue @p reqs and drain @p mc; returns the final stats snapshot. */
+ControllerStats runWorkload(IMemoryController& mc,
+                            const std::vector<Request>& reqs);
+
+/** Immutable request list shared between the sweep jobs replaying it. */
+using SharedRequests = std::shared_ptr<const std::vector<Request>>;
+
+/** Wrap a request list for sharing across jobs without copying it. */
+inline SharedRequests
+shareRequests(std::vector<Request> reqs)
+{
+    return std::make_shared<const std::vector<Request>>(std::move(reqs));
+}
+
+/** One design point of a sweep: a fresh controller and its workload. */
+struct SweepJob
+{
+    SweepJob(std::string label_, ControllerFactory make_,
+             SharedRequests requests_)
+        : label(std::move(label_)), make(std::move(make_)),
+          requests(std::move(requests_))
+    {
+    }
+
+    /** Convenience for single-use workloads: wraps the list privately. */
+    SweepJob(std::string label_, ControllerFactory make_,
+             std::vector<Request> requests_)
+        : SweepJob(std::move(label_), std::move(make_),
+                   shareRequests(std::move(requests_)))
+    {
+    }
+
+    std::string label;
+    ControllerFactory make;
+    SharedRequests requests;
+};
+
+/** Outcome of one sweep job; @c mc is kept alive for deep inspection. */
+struct SweepOutcome
+{
+    std::string label;
+    ControllerStats stats;
+    std::unique_ptr<IMemoryController> mc;
+};
+
+/**
+ * Run every job (construct controller, enqueue its workload, drain) on up
+ * to @p threads workers. Outcomes are returned in job order and are
+ * independent of the thread count.
+ */
+std::vector<SweepOutcome> runSweep(std::vector<SweepJob> jobs,
+                                   int threads = defaultSimThreads());
+
+} // namespace rome
+
+#endif // ROME_SIM_ENGINE_H

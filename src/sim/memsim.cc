@@ -1,126 +1,75 @@
 #include "sim/memsim.h"
 
 #include <algorithm>
-#include <vector>
 
-#include "common/random.h"
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
 
 namespace rome
 {
 
-namespace
+std::unique_ptr<IMemoryController>
+makeChannelController(MemorySystem sys, const DramConfig& dram)
 {
-
-/** One sequential stream with a finite region, rebasing when exhausted. */
-struct Stream
-{
-    std::uint64_t base = 0;
-    std::uint64_t offset = 0;
-    std::uint64_t region = 0;
-};
-
-/** Generate the interleaved two-class multi-stream request list. */
-std::vector<Request>
-buildRequests(const ChannelWorkloadProfile& p, bool uniform_rows,
-              std::uint64_t row_bytes, std::uint64_t capacity)
-{
-    Rng rng(p.seed);
-    // When uniform_rows is set (RoMe), every request is one effective row:
-    // the MC receives the same bulk accesses, split at row granularity by
-    // its own interleaving.
-    const std::uint64_t large_req = uniform_rows ? row_bytes
-                                                 : p.largeRequestBytes;
-    const std::uint64_t small_req = uniform_rows ? row_bytes
-                                                 : p.smallRequestBytes;
-    std::vector<Stream> large(static_cast<std::size_t>(p.largeStreams));
-    std::vector<Stream> small(static_cast<std::size_t>(p.smallStreams));
-    const auto rebase = [&](Stream& s, std::uint64_t align) {
-        s.base = rng.below(capacity - p.streamBytes) / align * align;
-        s.offset = 0;
-        s.region = p.streamBytes;
-    };
-    for (auto& s : large)
-        rebase(s, large_req);
-    for (auto& s : small)
-        rebase(s, small_req);
-
-    std::vector<Request> reqs;
-    std::uint64_t id = 1;
-    std::uint64_t emitted = 0;
-    std::size_t lturn = 0;
-    std::size_t sturn = 0;
-    while (emitted < p.totalBytes) {
-        const bool pick_small = rng.uniform() < p.smallFraction;
-        auto& pool = pick_small ? small : large;
-        const std::uint64_t req = pick_small ? small_req : large_req;
-        auto& turn = pick_small ? sturn : lturn;
-        Stream& s = pool[turn];
-        turn = (turn + 1) % pool.size();
-        if (s.offset + req > s.region)
-            rebase(s, req);
-        const bool write = rng.uniform() < p.writeFraction;
-        reqs.push_back(Request{id++, write ? ReqKind::Write : ReqKind::Read,
-                               s.base + s.offset, req, 0});
-        s.offset += req;
-        emitted += req;
+    if (sys == MemorySystem::Hbm4) {
+        return std::make_unique<ConventionalMc>(
+            dram, bestBaselineMapping(dram.org), McConfig{});
     }
-    return reqs;
+    return std::make_unique<RomeMc>(dram, VbaDesign::adopted(),
+                                    RomeMcConfig{});
 }
 
-} // namespace
+ChannelCalibration
+calibrationFromStats(const ControllerStats& s, double peak_bytes_per_ns)
+{
+    ChannelCalibration out;
+    const double useful = static_cast<double>(s.totalBytes());
+    const double kib =
+        (useful + static_cast<double>(s.overfetchBytes)) / 1024.0;
+    if (kib <= 0.0)
+        return out;
+    out.utilization = s.effectiveBandwidth / peak_bytes_per_ns;
+    out.actsPerKib = static_cast<double>(s.acts) / kib;
+    out.casPerKib = static_cast<double>(s.colCmds) / kib;
+    out.interfaceCmdsPerKib =
+        static_cast<double>(s.interfaceCommands) / kib;
+    out.refreshPerKib = static_cast<double>(s.refPbs) / kib;
+    out.overfetchFraction =
+        static_cast<double>(s.overfetchBytes) / std::max(1.0, useful);
+    return out;
+}
 
 ChannelCalibration
 calibrateChannel(MemorySystem sys, const ChannelWorkloadProfile& profile)
 {
     const DramConfig dram = hbm4Config();
     const double peak = dram.org.channelBandwidthBytesPerNs();
-    ChannelCalibration out;
 
-    if (sys == MemorySystem::Hbm4) {
-        ConventionalMc mc(dram, bestBaselineMapping(dram.org), McConfig{});
-        for (const auto& r : buildRequests(profile, false, 4096,
-                                           dram.org.channelCapacity())) {
-            mc.enqueue(r);
-        }
-        mc.drain();
-        const auto& c = mc.device().counters();
-        const double kib =
-            static_cast<double>(mc.bytesRead() + mc.bytesWritten()) / 1024.0;
-        out.utilization = mc.achievedBandwidth() / peak;
-        out.actsPerKib = static_cast<double>(c.acts.value()) / kib;
-        out.casPerKib = static_cast<double>(c.colCmds.value()) / kib;
-        // Conventional MCs drive every DRAM command over the interface.
-        out.interfaceCmdsPerKib =
-            static_cast<double>(c.rowCmds.value() + c.colCmds.value()) /
-            kib;
-        out.refreshPerKib = static_cast<double>(c.refPbs.value()) / kib;
-        return out;
-    }
+    auto mc = makeChannelController(sys, dram);
+    const bool uniform_rows = sys == MemorySystem::RoMe;
+    // RoMe interleaves whole effective rows; the baseline sees the
+    // profile's per-tensor pieces.
+    const std::uint64_t row_bytes =
+        uniform_rows
+            ? static_cast<const RomeMc&>(*mc).vbaMap().effectiveRowBytes()
+            : 4096;
+    const auto reqs = profileRequests(profile, uniform_rows, row_bytes,
+                                      dram.org.channelCapacity());
+    const ControllerStats s = runWorkload(*mc, reqs);
+    return calibrationFromStats(s, peak);
+}
 
-    RomeMc mc(dram, VbaDesign::adopted(), RomeMcConfig{});
-    for (const auto& r : buildRequests(profile, true,
-                                       mc.vbaMap().effectiveRowBytes(),
-                                       dram.org.channelCapacity())) {
-        mc.enqueue(r);
-    }
-    mc.drain();
-    const auto& c = mc.device().counters();
-    const double useful =
-        static_cast<double>(mc.bytesRead() + mc.bytesWritten());
-    const double kib = (useful + static_cast<double>(mc.overfetchBytes())) /
-                       1024.0;
-    out.utilization = mc.effectiveBandwidth() / peak;
-    out.actsPerKib = static_cast<double>(c.acts.value()) / kib;
-    out.casPerKib = static_cast<double>(c.colCmds.value()) / kib;
-    // Only row-level commands cross the MC↔HBM interface (REF counts too);
-    // the command generator expands them on the logic die.
-    out.interfaceCmdsPerKib =
-        static_cast<double>(mc.generator().rowCommandsAccepted()) / kib;
-    out.refreshPerKib = static_cast<double>(c.refPbs.value()) / kib;
-    out.overfetchFraction = static_cast<double>(mc.overfetchBytes()) /
-                            std::max(1.0, useful);
+std::pair<ChannelCalibration, ChannelCalibration>
+calibratePair(const ChannelWorkloadProfile& profile, int threads)
+{
+    std::pair<ChannelCalibration, ChannelCalibration> out;
+    const MemorySystem systems[2] = {MemorySystem::Hbm4, MemorySystem::RoMe};
+    ChannelCalibration results[2];
+    parallelFor(2, threads, [&](int i) {
+        results[i] = calibrateChannel(systems[i], profile);
+    });
+    out.first = results[0];
+    out.second = results[1];
     return out;
 }
 

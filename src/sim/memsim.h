@@ -12,45 +12,25 @@
  * Interleaved small pieces are what cost the baseline extra row activations
  * (bank conflicts between streams) — the mechanism behind Fig 14's ACT
  * energy gap.
+ *
+ * Controllers are constructed by makeChannelController and driven
+ * exclusively through IMemoryController / ChannelSimEngine.
  */
 
 #ifndef ROME_SIM_MEMSIM_H
 #define ROME_SIM_MEMSIM_H
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "llm/model_config.h"
 #include "sim/accel_config.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
 
 namespace rome
 {
-
-/**
- * Shape of one channel's traffic during decode: a mix of large streams
- * (weight matrices) and small-piece streams (per-sequence KV gathers,
- * activations, small experts). Request sizes are per-channel shares after
- * system-level interleaving.
- */
-struct ChannelWorkloadProfile
-{
-    /** Concurrently fetched large tensors. */
-    int largeStreams = 4;
-    /** Per-channel bytes of one large-stream request. */
-    std::uint64_t largeRequestBytes = 8192;
-    /** Concurrently gathered small tensors. */
-    int smallStreams = 8;
-    /** Per-channel bytes of one small-stream request. */
-    std::uint64_t smallRequestBytes = 2048;
-    /** Fraction of traffic coming from the small-piece streams. */
-    double smallFraction = 0.2;
-    /** Contiguous per-channel bytes of one stream before it rebases. */
-    std::uint64_t streamBytes = 64 * 1024;
-    /** Fraction of write traffic (KV appends, activations out). */
-    double writeFraction = 0.05;
-    /** Total bytes to simulate (per channel). */
-    std::uint64_t totalBytes = 8 * 1024 * 1024;
-    std::uint64_t seed = 1;
-};
 
 /** Calibration outputs consumed by the TPOT and energy models. */
 struct ChannelCalibration
@@ -70,12 +50,31 @@ struct ChannelCalibration
 };
 
 /**
+ * Build a fresh single-channel controller for @p sys with the paper's
+ * configuration (FR-FCFS open-page MC for HBM4, the RoMe MC otherwise).
+ */
+std::unique_ptr<IMemoryController>
+makeChannelController(MemorySystem sys, const DramConfig& dram);
+
+/** Extract a calibration from a finished controller run. */
+ChannelCalibration calibrationFromStats(const ControllerStats& s,
+                                        double peak_bytes_per_ns);
+
+/**
  * Simulate @p profile on one channel of @p sys and extract calibration.
  * Both MCs run with the paper's configurations (FR-FCFS open-page 64-entry
  * queue vs. the RoMe MC).
  */
 ChannelCalibration calibrateChannel(MemorySystem sys,
                                     const ChannelWorkloadProfile& profile);
+
+/**
+ * Calibrate both memory systems for @p profile, running the two channel
+ * simulations concurrently on the engine's thread pool.
+ */
+std::pair<ChannelCalibration, ChannelCalibration>
+calibratePair(const ChannelWorkloadProfile& profile,
+              int threads = defaultSimThreads());
 
 /**
  * Per-model traffic shape. The stream concurrency and per-channel piece

@@ -1,8 +1,10 @@
 #include "sim/tpot.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/log.h"
+#include "sim/engine.h"
 
 namespace rome
 {
@@ -44,10 +46,12 @@ evaluateStep(const LlmConfig& model, const Workload& wl,
 
     TpotResult res;
     const int total_channels = org.channelsPerCube * sys.accel.hbmCubes;
-    res.lbrAttention = categoryLbr(ops, OpCategory::Attention,
-                                   total_channels, sys.lbrGranularity);
-    res.lbrFfn = categoryLbr(ops, OpCategory::Ffn, total_channels,
-                             sys.lbrGranularity);
+    // One pass for both categories; single-threaded because evaluateStep
+    // itself runs on the sweep's thread pool.
+    const LbrByCategory lbr = categoryLbrs(ops, total_channels,
+                                           sys.lbrGranularity, 1);
+    res.lbrAttention = lbr.attention;
+    res.lbrFfn = lbr.ffn;
     res.traffic = summarize(ops);
 
     const std::uint64_t row_bytes = 4096;
@@ -110,6 +114,25 @@ evaluateStep(const LlmConfig& model, const Workload& wl,
 
     res.totalMs = res.attentionMs + res.ffnMs + res.otherMs + res.commMs;
     return res;
+}
+
+std::vector<TpotComparison>
+tpotBatchSweep(const LlmConfig& model, const std::vector<int>& batches,
+               int seq_len, const Parallelism& par,
+               const SystemEvalConfig& sys_base,
+               const SystemEvalConfig& sys_rome, int threads)
+{
+    std::vector<TpotComparison> out(batches.size());
+    if (threads <= 0)
+        threads = defaultSimThreads();
+    parallelFor(static_cast<int>(batches.size()), threads, [&](int i) {
+        auto& cmp = out[static_cast<std::size_t>(i)];
+        cmp.batch = batches[static_cast<std::size_t>(i)];
+        const Workload wl{Stage::Decode, cmp.batch, seq_len, 1};
+        cmp.base = evaluateStep(model, wl, par, sys_base);
+        cmp.rome = evaluateStep(model, wl, par, sys_rome);
+    });
+    return out;
 }
 
 } // namespace rome

@@ -66,6 +66,28 @@ struct TpotResult
 TpotResult evaluateStep(const LlmConfig& model, const Workload& wl,
                         const Parallelism& par, const SystemEvalConfig& sys);
 
+/** One decode batch point of the HBM4-versus-RoMe comparison (Fig 12). */
+struct TpotComparison
+{
+    int batch = 0;
+    TpotResult base;
+    TpotResult rome;
+
+    /** Fractional TPOT reduction of RoMe over the baseline. */
+    double gain() const { return 1.0 - rome.totalMs / base.totalMs; }
+};
+
+/**
+ * Evaluate the whole decode batch sweep of @p model on both systems.
+ * Batch points are independent, so they run on the engine's thread pool;
+ * results are returned in @p batches order regardless of thread count.
+ */
+std::vector<TpotComparison>
+tpotBatchSweep(const LlmConfig& model, const std::vector<int>& batches,
+               int seq_len, const Parallelism& par,
+               const SystemEvalConfig& sys_base,
+               const SystemEvalConfig& sys_rome, int threads = 0);
+
 /** RoMe read amplification of an operator (extents rounded to rows). */
 double overfetchFactor(const LlmOp& op, std::uint64_t row_bytes);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "sim/engine.h"
 
 namespace rome
 {
@@ -85,6 +86,54 @@ categoryLbr(const std::vector<LlmOp>& ops, OpCategory cat,
         weighted_time += b / lbr;
     }
     return weighted_time > 0.0 ? bytes_total / weighted_time : 1.0;
+}
+
+LbrByCategory
+categoryLbrs(const std::vector<LlmOp>& ops, int num_channels,
+             std::uint64_t granularity, int threads)
+{
+    // Per-op contribution: (category, useful bytes, bytes / lbr).
+    struct OpLoad
+    {
+        OpCategory cat = OpCategory::Other;
+        double bytes = 0.0;
+        double time = 0.0;
+    };
+    std::vector<OpLoad> loads(ops.size());
+    if (threads <= 0)
+        threads = defaultSimThreads();
+    parallelFor(static_cast<int>(ops.size()), threads, [&](int i) {
+        const LlmOp& op = ops[static_cast<std::size_t>(i)];
+        auto& slot = loads[static_cast<std::size_t>(i)];
+        slot.cat = op.category;
+        if (op.readExtents.empty())
+            return;
+        ChannelLoadModel model(num_channels, granularity);
+        for (const auto e : op.readExtents)
+            model.addExtent(e);
+        const double lbr = model.lbr();
+        if (lbr <= 0.0)
+            return;
+        slot.bytes = static_cast<double>(model.totalBytes());
+        slot.time = slot.bytes / lbr;
+    });
+
+    // Time-weighted harmonic aggregate per category, in op order.
+    LbrByCategory out;
+    double attn_bytes = 0.0, attn_time = 0.0;
+    double ffn_bytes = 0.0, ffn_time = 0.0;
+    for (const auto& l : loads) {
+        if (l.cat == OpCategory::Attention) {
+            attn_bytes += l.bytes;
+            attn_time += l.time;
+        } else if (l.cat == OpCategory::Ffn) {
+            ffn_bytes += l.bytes;
+            ffn_time += l.time;
+        }
+    }
+    out.attention = attn_time > 0.0 ? attn_bytes / attn_time : 1.0;
+    out.ffn = ffn_time > 0.0 ? ffn_bytes / ffn_time : 1.0;
+    return out;
 }
 
 } // namespace rome

@@ -59,6 +59,21 @@ class ChannelLoadModel
 double categoryLbr(const std::vector<LlmOp>& ops, OpCategory cat,
                    int num_channels, std::uint64_t granularity);
 
+/** Per-category LBRs of one forward pass. */
+struct LbrByCategory
+{
+    double attention = 1.0;
+    double ffn = 1.0;
+};
+
+/**
+ * Attention and FFN LBRs in one pass over @p ops. Per-op load models are
+ * independent, so they are built on the engine's thread pool (0 = default
+ * thread count); the reduction runs in op order and is deterministic.
+ */
+LbrByCategory categoryLbrs(const std::vector<LlmOp>& ops, int num_channels,
+                           std::uint64_t granularity, int threads = 0);
+
 } // namespace rome
 
 #endif // ROME_SIM_TRAFFIC_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared synthetic request-stream generators.
+ *
+ * Every bench, example, and test used to hand-roll its own enqueue loop;
+ * these builders produce the same per-channel request lists once, so a
+ * workload can be replayed onto any IMemoryController (and onto several
+ * design points of a sweep) identically.
+ */
+
+#ifndef ROME_SIM_WORKLOADS_H
+#define ROME_SIM_WORKLOADS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/request.h"
+
+namespace rome
+{
+
+/** Sequential request stream with optional deterministic/random writes. */
+struct StreamPattern
+{
+    /** Total bytes to emit. */
+    std::uint64_t totalBytes = 0;
+    /** Bytes per request. */
+    std::uint64_t requestBytes = 4096;
+    /** First byte address. */
+    std::uint64_t base = 0;
+    /** Every Nth request is a write (0 = reads only). */
+    int writeEveryNth = 0;
+    /** Random write fraction (used when writeEveryNth == 0). */
+    double writeFraction = 0.0;
+    /** RNG seed for writeFraction draws. */
+    std::uint64_t seed = 1;
+};
+
+std::vector<Request> streamRequests(const StreamPattern& p);
+
+/** Uniform-random aligned requests over [0, capacity). */
+struct RandomPattern
+{
+    std::uint64_t totalBytes = 0;
+    std::uint64_t requestBytes = 32;
+    /** Address space to draw from (aligned to requestBytes). */
+    std::uint64_t capacity = 0;
+    double writeFraction = 0.0;
+    std::uint64_t seed = 1;
+};
+
+std::vector<Request> randomRequests(const RandomPattern& p);
+
+/**
+ * Sparse-attention mix (§VII): fine sub-row gathers amid coarse weight
+ * streams — the workload that motivates the hybrid RoMe+HBM4 system.
+ */
+struct SparseMixPattern
+{
+    /** Fraction of requests that are fine-grained gathers. */
+    double fineFraction = 0.1;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t fineBytes = 512;
+    std::uint64_t coarseBytes = 16384;
+    std::uint64_t capacity = 1ull << 30;
+    std::uint64_t seed = 5;
+};
+
+std::vector<Request> sparseMixRequests(const SparseMixPattern& p);
+
+/**
+ * Shape of one channel's traffic during decode: a mix of large streams
+ * (weight matrices) and small-piece streams (per-sequence KV gathers,
+ * activations, small experts). Request sizes are per-channel shares after
+ * system-level interleaving.
+ */
+struct ChannelWorkloadProfile
+{
+    /** Concurrently fetched large tensors. */
+    int largeStreams = 4;
+    /** Per-channel bytes of one large-stream request. */
+    std::uint64_t largeRequestBytes = 8192;
+    /** Concurrently gathered small tensors. */
+    int smallStreams = 8;
+    /** Per-channel bytes of one small-stream request. */
+    std::uint64_t smallRequestBytes = 2048;
+    /** Fraction of traffic coming from the small-piece streams. */
+    double smallFraction = 0.2;
+    /** Contiguous per-channel bytes of one stream before it rebases. */
+    std::uint64_t streamBytes = 64 * 1024;
+    /** Fraction of write traffic (KV appends, activations out). */
+    double writeFraction = 0.05;
+    /** Total bytes to simulate (per channel). */
+    std::uint64_t totalBytes = 8 * 1024 * 1024;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The interleaved two-class multi-stream request list of @p profile. When
+ * @p uniform_rows is set (RoMe), every request is one effective row of
+ * @p row_bytes: the MC receives the same bulk accesses, split at row
+ * granularity by the system's interleaving.
+ */
+std::vector<Request> profileRequests(const ChannelWorkloadProfile& profile,
+                                     bool uniform_rows,
+                                     std::uint64_t row_bytes,
+                                     std::uint64_t capacity);
+
+} // namespace rome
+
+#endif // ROME_SIM_WORKLOADS_H

@@ -11,6 +11,7 @@
 #include "area/area_model.h"
 #include "energy/energy_model.h"
 #include "llm/kv_cache.h"
+#include "mc/mc.h"
 #include "rome/rome_mc.h"
 #include "sim/memsim.h"
 #include "sim/tpot.h"
