@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "dram/hbm4_config.h"
@@ -94,5 +95,31 @@ main()
                 defaultSimThreads());
     std::printf("threaded results bit-identical to single-threaded: %s\n",
                 identical ? "yes" : "NO — BUG");
-    return identical ? 0 : 1;
+
+    // Machine-readable perf trajectory for CI (uploaded as an artifact).
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("engine_sweep");
+    json.key("designPoints").value(
+        static_cast<std::uint64_t>(serial.size()));
+    json.key("serialSeconds").value(t1);
+    json.key("threadedSeconds").value(tn);
+    json.key("threads").value(pool);
+    json.key("speedup").value(tn > 0.0 ? t1 / tn : 0.0);
+    json.key("bitIdentical").value(identical);
+    json.key("rows").beginArray();
+    for (const auto& r : serial) {
+        json.beginObject();
+        json.key("label").value(r.label);
+        json.key("effectiveBandwidth").value(r.stats.effectiveBandwidth);
+        json.key("acts").value(r.stats.acts);
+        json.key("completedRequests").value(r.stats.completedRequests);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    const bool wrote = writeTextFile("BENCH_engine_sweep.json", json.str());
+    std::printf("%s BENCH_engine_sweep.json\n",
+                wrote ? "wrote" : "FAILED to write");
+    return identical && wrote ? 0 : 1;
 }

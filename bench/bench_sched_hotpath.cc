@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Scheduler hot-path benchmark: steady-state steps/sec and drain
+ * wall-clock of the indexed (incremental per-bank index + event calendar)
+ * schedulers against the retained legacy (rescan-everything) schedulers,
+ * across queue depths, bank counts, and traffic patterns.
+ *
+ * Every pairing also asserts that the two schedulers' ControllerStats are
+ * bit-identical (operator==) — the legacy implementation is the
+ * pre-refactor decision-order oracle — and a counting global allocator
+ * verifies that the indexed conventional scheduler performs no heap
+ * allocation per steady-state step.
+ *
+ * Results are emitted as a table and as machine-readable BENCH_sched.json
+ * (uploaded by the bench-smoke CI job), establishing the repo's perf
+ * trajectory. `--quick` runs a reduced grid for CI smoke runs.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "dram/hbm4_config.h"
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every operator-new in the process bumps g_allocs, so a
+// steady-state window with zero delta proves the scheduling loop never
+// touches the heap.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void*
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void*
+operator new(std::size_t n, std::align_val_t align)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace rome;
+using namespace rome::literals;
+
+namespace
+{
+
+struct RunResult
+{
+    double seconds = 0.0;
+    double stepsPerSec = 0.0;
+    std::uint64_t steps = 0;
+    ControllerStats stats;
+};
+
+RunResult
+timedDrain(ChannelControllerBase& mc, const std::vector<Request>& reqs)
+{
+    for (const auto& r : reqs)
+        mc.enqueue(r);
+    const auto t0 = std::chrono::steady_clock::now();
+    mc.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    RunResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.steps = mc.stepsExecuted();
+    r.stepsPerSec = r.seconds > 0.0
+                        ? static_cast<double>(r.steps) / r.seconds
+                        : 0.0;
+    r.stats = mc.stats();
+    return r;
+}
+
+std::vector<Request>
+buildWorkload(const std::string& name, std::uint64_t total_bytes,
+              std::uint64_t capacity)
+{
+    if (name == "stream") {
+        StreamPattern p;
+        p.totalBytes = total_bytes;
+        p.requestBytes = 4_KiB;
+        return streamRequests(p);
+    }
+    if (name == "mixed") {
+        RandomPattern p;
+        p.totalBytes = total_bytes;
+        p.requestBytes = 2_KiB;
+        p.capacity = capacity;
+        p.writeFraction = 0.25;
+        p.seed = 7;
+        return randomRequests(p);
+    }
+    // "random": fine-grained uniform accesses — the index's worst case.
+    RandomPattern p;
+    p.totalBytes = total_bytes / 8; // far fewer bytes/request
+    p.requestBytes = 64;
+    p.capacity = capacity;
+    p.writeFraction = 0.1;
+    p.seed = 11;
+    return randomRequests(p);
+}
+
+/** HBM4 organization shrunk to half the SIDs (64 banks per channel). */
+DramConfig
+halfBankConfig()
+{
+    DramConfig cfg = hbm4Config();
+    cfg.org.sidsPerChannel = 2;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const std::uint64_t total = quick ? 2_MiB : 8_MiB;
+    const std::vector<int> depths = quick ? std::vector<int>{64}
+                                          : std::vector<int>{16, 64, 128};
+    const std::vector<std::string> workloads =
+        quick ? std::vector<std::string>{"stream", "random"}
+              : std::vector<std::string>{"stream", "mixed", "random"};
+
+    bool all_match = true;
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("sched_hotpath");
+    json.key("quick").value(quick);
+    json.key("rows").beginArray();
+
+    Table t("Scheduler hot path: legacy (rescan) vs indexed (per-bank)");
+    t.setHeader({"system", "workload", "qdepth", "banks", "legacy s",
+                 "indexed s", "legacy steps/s", "indexed steps/s",
+                 "speedup", "stats"});
+
+    const std::vector<std::pair<std::string, DramConfig>> orgs = {
+        {"128", hbm4Config()},
+        {"64", halfBankConfig()},
+    };
+
+    double best_speedup_deep = 0.0;
+    for (const auto& [bank_label, dram] : orgs) {
+        if (quick && bank_label == "64")
+            continue;
+        for (const std::string& wl : workloads) {
+            const auto reqs =
+                buildWorkload(wl, total, dram.org.channelCapacity());
+            for (const int depth : depths) {
+                McConfig legacy_cfg;
+                legacy_cfg.readQueueDepth = depth;
+                legacy_cfg.writeQueueDepth = depth;
+                legacy_cfg.legacyScheduler = true;
+                McConfig indexed_cfg = legacy_cfg;
+                indexed_cfg.legacyScheduler = false;
+
+                ConventionalMc legacy(dram, bestBaselineMapping(dram.org),
+                                      legacy_cfg);
+                ConventionalMc indexed(dram, bestBaselineMapping(dram.org),
+                                       indexed_cfg);
+                const RunResult lr = timedDrain(legacy, reqs);
+                const RunResult ir = timedDrain(indexed, reqs);
+
+                const bool match = lr.stats == ir.stats;
+                all_match = all_match && match;
+                const double speedup =
+                    ir.seconds > 0.0 ? lr.seconds / ir.seconds : 0.0;
+                if (depth >= 64)
+                    best_speedup_deep = std::max(best_speedup_deep, speedup);
+
+                t.addRow({"hbm4", wl, std::to_string(depth), bank_label,
+                          Table::num(lr.seconds, 3),
+                          Table::num(ir.seconds, 3),
+                          Table::num(lr.stepsPerSec / 1e6, 2) + "M",
+                          Table::num(ir.stepsPerSec / 1e6, 2) + "M",
+                          Table::num(speedup, 1) + "x",
+                          match ? "ok" : "MISMATCH"});
+                json.beginObject();
+                json.key("system").value("hbm4");
+                json.key("workload").value(wl);
+                json.key("queueDepth").value(depth);
+                json.key("banks").value(dram.org.banksPerChannel());
+                json.key("requests").value(
+                    static_cast<std::uint64_t>(reqs.size()));
+                json.key("legacySeconds").value(lr.seconds);
+                json.key("indexedSeconds").value(ir.seconds);
+                json.key("legacyStepsPerSec").value(lr.stepsPerSec);
+                json.key("indexedStepsPerSec").value(ir.stepsPerSec);
+                json.key("speedup").value(speedup);
+                json.key("statsMatch").value(match);
+                json.endObject();
+            }
+        }
+
+        // RoMe: deadline-heap slots + per-VBA busy index vs slot rescans.
+        {
+            const auto reqs =
+                buildWorkload("stream", total, dram.org.channelCapacity());
+            RomeMcConfig legacy_cfg;
+            legacy_cfg.legacyScheduler = true;
+            RomeMcConfig indexed_cfg;
+            RomeMc legacy(dram, VbaDesign::adopted(), legacy_cfg);
+            RomeMc indexed(dram, VbaDesign::adopted(), indexed_cfg);
+            const RunResult lr = timedDrain(legacy, reqs);
+            const RunResult ir = timedDrain(indexed, reqs);
+            const bool match = lr.stats == ir.stats;
+            all_match = all_match && match;
+            const double speedup =
+                ir.seconds > 0.0 ? lr.seconds / ir.seconds : 0.0;
+            t.addRow({"rome", "stream", "-", bank_label,
+                      Table::num(lr.seconds, 3), Table::num(ir.seconds, 3),
+                      Table::num(lr.stepsPerSec / 1e6, 2) + "M",
+                      Table::num(ir.stepsPerSec / 1e6, 2) + "M",
+                      Table::num(speedup, 1) + "x",
+                      match ? "ok" : "MISMATCH"});
+            json.beginObject();
+            json.key("system").value("rome");
+            json.key("workload").value("stream");
+            json.key("queueDepth").value(indexed.config().queueDepth);
+            json.key("banks").value(dram.org.banksPerChannel());
+            json.key("requests").value(
+                static_cast<std::uint64_t>(reqs.size()));
+            json.key("legacySeconds").value(lr.seconds);
+            json.key("indexedSeconds").value(ir.seconds);
+            json.key("legacyStepsPerSec").value(lr.stepsPerSec);
+            json.key("indexedStepsPerSec").value(ir.stepsPerSec);
+            json.key("speedup").value(speedup);
+            json.key("statsMatch").value(match);
+            json.endObject();
+        }
+    }
+    json.endArray();
+    t.print();
+
+    // --- Steady-state allocation probe ----------------------------------
+    // Enqueue everything up front, run past the warm-up horizon (pool,
+    // heaps, and slot calendars reach their steady capacity), then count
+    // operator-new calls across a long steady window.
+    const DramConfig dram = hbm4Config();
+    McConfig cfg;
+    cfg.readQueueDepth = 128;
+    cfg.writeQueueDepth = 128;
+    ConventionalMc mc(dram, bestBaselineMapping(dram.org), cfg);
+    for (const auto& r :
+         buildWorkload("mixed", 16_MiB, dram.org.channelCapacity()))
+        mc.enqueue(r);
+    mc.runUntil(60_us); // warm-up
+    const std::uint64_t steps0 = mc.stepsExecuted();
+    const std::uint64_t allocs0 = g_allocs.load();
+    mc.runUntil(220_us); // steady window
+    const std::uint64_t window_steps = mc.stepsExecuted() - steps0;
+    const std::uint64_t window_allocs = g_allocs.load() - allocs0;
+    const double allocs_per_step =
+        window_steps
+            ? static_cast<double>(window_allocs) /
+                  static_cast<double>(window_steps)
+            : 0.0;
+    std::printf("\nsteady-state allocation probe: %llu allocs over %llu "
+                "steps (%.6f allocs/step)\n",
+                static_cast<unsigned long long>(window_allocs),
+                static_cast<unsigned long long>(window_steps),
+                allocs_per_step);
+    const bool alloc_free = allocs_per_step <= 0.001;
+
+    json.key("allocProbe").beginObject();
+    json.key("windowSteps").value(window_steps);
+    json.key("windowAllocs").value(window_allocs);
+    json.key("allocsPerStep").value(allocs_per_step);
+    json.key("allocFree").value(alloc_free);
+    json.endObject();
+    json.key("bestSpeedupAtDeepQueues").value(best_speedup_deep);
+    json.endObject();
+    const bool wrote = writeTextFile("BENCH_sched.json", json.str());
+    std::printf("%s BENCH_sched.json\n",
+                wrote ? "wrote" : "FAILED to write");
+    std::printf("stats bit-identical legacy vs indexed: %s\n",
+                all_match ? "yes" : "NO — BUG");
+    std::printf("best speedup at queue depth >= 64: %.1fx\n",
+                best_speedup_deep);
+
+    return all_match && alloc_free && wrote ? 0 : 1;
+}

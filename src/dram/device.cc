@@ -27,6 +27,8 @@ ChannelDevice::ChannelDevice(const Organization& org,
                              const TimingParams& timing)
     : org_(org), t_(timing)
 {
+    minCcd_ = std::min({t_.tCCDL, t_.tCCDS, t_.tCCDR});
+    minRrd_ = std::min(t_.tRRDL, t_.tRRDS);
     banks_.resize(static_cast<std::size_t>(org_.banksPerChannel()));
     sids_.resize(static_cast<std::size_t>(org_.pcsPerChannel *
                                           org_.sidsPerChannel));
@@ -192,7 +194,12 @@ ChannelDevice::earliestRefAb(const DramAddress& a, Tick t0) const
 Tick
 ChannelDevice::earliestIssue(const Command& cmd, Tick not_before) const
 {
+    // The probe path runs once per candidate per scheduling step; range
+    // validation stays on in debug builds, while release builds rely on
+    // issue() re-validating every command that actually commits.
+#ifndef NDEBUG
     checkAddress(org_, cmd.addr);
+#endif
     switch (cmd.kind) {
       case CmdKind::Act:
         return earliestAct(cmd.addr, not_before);
@@ -214,6 +221,7 @@ ChannelDevice::earliestIssue(const Command& cmd, Tick not_before) const
 ChannelDevice::IssueResult
 ChannelDevice::issue(const Command& cmd, Tick when)
 {
+    checkAddress(org_, cmd.addr);
     const Tick earliest = earliestIssue(cmd, when);
     if (earliest == kTickMax || earliest > when) {
         panic("illegal %s at %lld ns (earliest legal: %s)",

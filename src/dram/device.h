@@ -21,9 +21,9 @@
 #ifndef ROME_DRAM_DEVICE_H
 #define ROME_DRAM_DEVICE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <vector>
 
 #include "common/stats.h"
@@ -95,6 +95,42 @@ class ChannelDevice
     /** Raw record access for schedulers that inspect timestamps. */
     const BankRecord& bankRecord(const DramAddress& a) const;
 
+    /** Same, addressed by flat bank index (see flatBankIndex). */
+    const BankRecord&
+    bankRecord(int flat_index) const
+    {
+        return banks_[static_cast<std::size_t>(flat_index)];
+    }
+
+    // ---- scheduler probe pruning ---------------------------------------
+    // Cheap lower bounds on earliestIssue: never above the exact answer,
+    // computable without touching bank state or the slot calendars. A
+    // scheduler probing candidates in tie-break order can skip the exact
+    // probe for any candidate whose floor cannot beat its current best.
+
+    /** Lower bound for any RD/WR on @p pc at or after @p t. */
+    Tick
+    casFloor(int pc, Tick t) const
+    {
+        const PcRecord& p = pcs_[static_cast<std::size_t>(pc)];
+        if (p.lastCas != kTickInvalid && p.lastCas + minCcd_ > t)
+            return p.lastCas + minCcd_;
+        return t;
+    }
+
+    /** Lower bound for any ACT in (@p pc, @p sid) at or after @p t. */
+    Tick
+    actFloor(int pc, int sid, Tick t) const
+    {
+        const SidRecord& s = sidRec(pc, sid);
+        if (s.lastAct != kTickInvalid && s.lastAct + minRrd_ > t)
+            t = s.lastAct + minRrd_;
+        const Tick oldest = s.actWindow[s.actWindowHead];
+        if (oldest != kTickInvalid && oldest + t_.tFAW > t)
+            t = oldest + t_.tFAW;
+        return t;
+    }
+
     /** Tick at which the last issued command's data transfer finishes. */
     Tick lastDataEnd() const { return lastDataEnd_; }
 
@@ -129,6 +165,12 @@ class ChannelDevice
      * high-water mark: the RoMe command generator lowers whole row
      * operations at once, so a later operation may legally claim an earlier
      * free slot between commands that were already committed.
+     *
+     * Backed by a sorted vector with a retired-prefix cursor instead of a
+     * node-based std::set: reservations are near-monotone, so inserts are
+     * almost always appends, lookups are cache-friendly binary searches,
+     * and — crucially for the allocation-free scheduler hot loop — a
+     * warmed-up calendar reserves slots without calling the allocator.
      */
     class SlotCalendar
     {
@@ -139,8 +181,17 @@ class ChannelDevice
         Tick
         nextFree(Tick t) const
         {
+            // Fast path: conventional schedulers probe at monotonically
+            // increasing times, so most queries land past the newest
+            // reservation and need no search at all.
+            if (occupied_.size() == head_ ||
+                t >= occupied_.back() + width_) {
+                return t;
+            }
             Tick cand = t;
-            auto it = occupied_.lower_bound(cand - width_ + 1);
+            auto it = std::lower_bound(occupied_.begin() +
+                                           static_cast<std::ptrdiff_t>(head_),
+                                       occupied_.end(), cand - width_ + 1);
             while (it != occupied_.end() && *it < cand + width_) {
                 cand = std::max(cand, *it + width_);
                 ++it;
@@ -152,18 +203,35 @@ class ChannelDevice
         void
         reserve(Tick at)
         {
-            occupied_.insert(at);
+            if (occupied_.empty() || at >= occupied_.back()) {
+                occupied_.push_back(at);
+            } else {
+                occupied_.insert(
+                    std::lower_bound(occupied_.begin() +
+                                         static_cast<std::ptrdiff_t>(head_),
+                                     occupied_.end(), at),
+                    at);
+            }
             // Bound memory: issue times are near-monotone, so very old
-            // slots can never conflict again.
-            while (occupied_.size() > 8192 &&
-                   *occupied_.begin() + 16384 * width_ < at) {
-                occupied_.erase(occupied_.begin());
+            // slots can never conflict again. Retire them behind the head
+            // cursor and compact in bulk so capacity is reused, not grown.
+            while (occupied_.size() - head_ > 8192 &&
+                   occupied_[head_] + 16384 * width_ < at) {
+                ++head_;
+            }
+            if (head_ > 4096) {
+                occupied_.erase(occupied_.begin(),
+                                occupied_.begin() +
+                                    static_cast<std::ptrdiff_t>(head_));
+                head_ = 0;
             }
         }
 
       private:
         Tick width_;
-        std::set<Tick> occupied_;
+        /** Entries before head_ are retired; the rest is sorted live data. */
+        std::size_t head_ = 0;
+        std::vector<Tick> occupied_;
     };
 
     /** Tracking shared by one PC (CAS stream, data bus, command slots). */
@@ -203,6 +271,9 @@ class ChannelDevice
 
     Organization org_;
     TimingParams t_;
+    /** Smallest possible CAS-to-CAS / ACT-to-ACT gaps (probe floors). */
+    Tick minCcd_ = 0;
+    Tick minRrd_ = 0;
     std::vector<BankRecord> banks_;
     std::vector<SidRecord> sids_;
     std::vector<PcRecord> pcs_;

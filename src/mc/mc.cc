@@ -1,6 +1,7 @@
 #include "mc/mc.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -22,6 +23,20 @@ constexpr int kPrioRefresh = 6;  // opportunistic refresh
 /** Refresh postponement bound before a refresh becomes forced (JEDEC: 8). */
 constexpr int kRefreshForceAt = 8;
 constexpr int kRefreshPendingCap = 9;
+
+/** Candidate tie-break categories, in legacy collection order. */
+constexpr int kRankRefresh = 0;
+constexpr int kRankReadOp = 1;
+constexpr int kRankWriteOp = 2;
+constexpr int kRankIdlePre = 3;
+
+/** Last activity of an open bank (adaptive idle-timeout reference). */
+Tick
+bankLastUse(const BankRecord& rec)
+{
+    return std::max(rec.lastAct, rec.lastCas == kTickInvalid ? rec.lastAct
+                                                             : rec.lastCas);
+}
 
 } // namespace
 
@@ -48,6 +63,29 @@ ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
             }
         }
     }
+    if (!cfg_.legacyScheduler) {
+        const int nbanks = cfg.org.banksPerChannel();
+        bankIx_.resize(static_cast<std::size_t>(nbanks));
+        for (int b = 0; b < nbanks; ++b) {
+            DramAddress a; // inverse of flatBankIndex (PC-major)
+            int idx = b;
+            a.bank = idx % cfg.org.banksPerGroup;
+            idx /= cfg.org.banksPerGroup;
+            a.bg = idx % cfg.org.bankGroupsPerSid;
+            idx /= cfg.org.bankGroupsPerSid;
+            a.sid = idx % cfg.org.sidsPerChannel;
+            idx /= cfg.org.sidsPerChannel;
+            a.pc = idx;
+            bankIx_[static_cast<std::size_t>(b)].addr = a;
+        }
+        const auto cap = static_cast<std::size_t>(cfg_.readQueueDepth +
+                                                  cfg_.writeQueueDepth);
+        pool_.reserve(cap);
+        freeNodes_.reserve(cap);
+        activeBanks_.reserve(static_cast<std::size_t>(nbanks));
+        openBanks_.reserve(static_cast<std::size_t>(nbanks));
+        unitForcedBank_.assign(refreshUnits_.size(), -1);
+    }
 }
 
 int
@@ -61,6 +99,8 @@ ConventionalMc::refreshBlocked(const DramAddress& a) const
 {
     // ACTs to a bank with a forced refresh pending are held off so the bank
     // can reach Idle and the refresh can issue.
+    if (!cfg_.refreshEnabled)
+        return false;
     for (const auto& u : refreshUnits_) {
         if (u.pc != a.pc || u.sid != a.sid)
             continue;
@@ -74,12 +114,25 @@ ConventionalMc::refreshBlocked(const DramAddress& a) const
     return false;
 }
 
+std::size_t
+ConventionalMc::readQueueSize() const
+{
+    return cfg_.legacyScheduler ? readQ_.size()
+                                : static_cast<std::size_t>(readCount_);
+}
+
+std::size_t
+ConventionalMc::writeQueueSize() const
+{
+    return cfg_.legacyScheduler ? writeQ_.size()
+                                : static_cast<std::size_t>(writeCount_);
+}
+
 bool
 ConventionalMc::admitOps()
 {
     Request& req = host_.front();
     const bool is_read = req.kind == ReqKind::Read;
-    auto& queue = is_read ? readQ_ : writeQ_;
     const auto& outstanding = is_read ? readOutstanding_ : writeOutstanding_;
     const auto depth = static_cast<std::size_t>(
         is_read ? cfg_.readQueueDepth : cfg_.writeQueueDepth);
@@ -88,10 +141,16 @@ ConventionalMc::admitOps()
     const std::uint64_t last_line = (req.addr + req.size - 1) / col;
     const std::uint64_t total = last_line - first_line + 1;
 
-    while (frontChunk_ < total && queue.size() + outstanding.size() < depth) {
+    const auto queued = [&] {
+        return is_read ? readQueueSize() : writeQueueSize();
+    };
+    while (frontChunk_ < total && queued() + outstanding.size() < depth) {
         const std::uint64_t line = first_line + frontChunk_;
-        queue.push_back(Op{map_.decode(line * col), req.id, req.kind,
-                           req.arrival});
+        Op op{map_.decode(line * col), req.id, req.kind, req.arrival};
+        if (cfg_.legacyScheduler)
+            (is_read ? readQ_ : writeQ_).push_back(op);
+        else
+            insertOpIndexed(op);
         ++frontChunk_;
     }
     if (frontChunk_ == total) {
@@ -101,6 +160,526 @@ ConventionalMc::admitOps()
     }
     return false;
 }
+
+void
+ConventionalMc::updateWriteDrain()
+{
+    // Write-drain hysteresis.
+    const auto w_occ = static_cast<double>(writeQueueSize());
+    const auto w_depth = static_cast<double>(cfg_.writeQueueDepth);
+    const bool forced = readQueueSize() == 0 && writeQueueSize() != 0;
+    if (!drainingWrites_) {
+        if (w_occ >= cfg_.writeHighWatermark * w_depth || forced)
+            drainingWrites_ = true;
+    } else if (w_occ <= cfg_.writeLowWatermark * w_depth && !forced) {
+        drainingWrites_ = false;
+    }
+}
+
+void
+ConventionalMc::completeOp(const Op& op, Tick data_end)
+{
+    if (op.kind == ReqKind::Read)
+        bytesRead_ += dramCfg_.org.columnBytes;
+    else
+        bytesWritten_ += dramCfg_.org.columnBytes;
+    noteOpDone(op.reqId, data_end);
+}
+
+Tick
+ConventionalMc::idleWakeTick(Tick adaptive_next) const
+{
+    // Nothing schedulable: jump to the next arrival, queue-entry release,
+    // refresh due time, or the caller-provided adaptive-timeout expiry.
+    Tick next = adaptive_next;
+    if (!host_.empty()) {
+        Tick admit_at = std::max(host_.front().arrival, now_ + 1);
+        Tick first_free = std::min(readOutstanding_.firstFreeAfter(now_),
+                                   writeOutstanding_.firstFreeAfter(now_));
+        if (first_free != kTickMax)
+            admit_at = std::min(admit_at, std::max(now_ + 1, first_free));
+        next = std::min(next, admit_at);
+    }
+    for (const auto& u : refreshUnits_) {
+        if (pendingRefreshCount(u) == 0)
+            next = std::min(next, u.rot.due);
+    }
+    return next;
+}
+
+bool
+ConventionalMc::stepOnce(Tick until)
+{
+    return cfg_.legacyScheduler ? stepOnceLegacy(until)
+                                : stepOnceIndexed(until);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed scheduler
+// ---------------------------------------------------------------------------
+
+bool
+ConventionalMc::candBeats(const Candidate& a, const Candidate& b)
+{
+    if (a.earliest != b.earliest)
+        return a.earliest < b.earliest;
+    return candRankLess(a, b);
+}
+
+bool
+ConventionalMc::candRankLess(const Candidate& a, const Candidate& b)
+{
+    if (a.priority != b.priority)
+        return a.priority < b.priority;
+    if (a.age != b.age)
+        return a.age < b.age;
+    if (a.rankCat != b.rankCat)
+        return a.rankCat < b.rankCat;
+    return a.rankIdx < b.rankIdx;
+}
+
+void
+ConventionalMc::insertOpIndexed(Op op)
+{
+    int node;
+    if (!freeNodes_.empty()) {
+        node = freeNodes_.back();
+        freeNodes_.pop_back();
+    } else {
+        node = static_cast<int>(pool_.size());
+        pool_.emplace_back();
+    }
+    OpNode& n = pool_[static_cast<std::size_t>(node)];
+    n.op = op;
+    n.seq = admitSeq_++;
+    n.bank = flatBankIndex(dramCfg_.org, op.addr);
+    n.prev = n.next = -1;
+
+    BankEntry& e = bankIx_[static_cast<std::size_t>(n.bank)];
+    const bool is_write = op.kind == ReqKind::Write;
+    BankList& l = is_write ? e.write : e.read;
+    if (l.tail == -1) {
+        l.head = l.tail = node;
+    } else {
+        pool_[static_cast<std::size_t>(l.tail)].next = node;
+        n.prev = l.tail;
+        l.tail = node;
+    }
+    ++l.count;
+    if (is_write)
+        ++writeCount_;
+    else
+        ++readCount_;
+    if (e.activePos == -1) {
+        e.activePos = static_cast<int>(activeBanks_.size());
+        activeBanks_.push_back(n.bank);
+    }
+
+    const BankRecord& rec = dev_.bankRecord(n.bank);
+    if (rec.open() && rec.openRow == op.addr.row) {
+        ++l.hitCount;
+        if (l.hitRep == kRepNone ||
+            (l.hitRep >= 0 &&
+             op.arrival <
+                 pool_[static_cast<std::size_t>(l.hitRep)].op.arrival)) {
+            l.hitRep = node; // new seq is larger, so ties keep the old rep
+        }
+    }
+    if (op.arrival < l.minArrivalLb)
+        l.minArrivalLb = op.arrival;
+}
+
+void
+ConventionalMc::removeOpIndexed(int node)
+{
+    OpNode& n = pool_[static_cast<std::size_t>(node)];
+    BankEntry& e = bankIx_[static_cast<std::size_t>(n.bank)];
+    const bool is_write = n.op.kind == ReqKind::Write;
+    BankList& l = is_write ? e.write : e.read;
+
+    if (n.prev != -1)
+        pool_[static_cast<std::size_t>(n.prev)].next = n.next;
+    else
+        l.head = n.next;
+    if (n.next != -1)
+        pool_[static_cast<std::size_t>(n.next)].prev = n.prev;
+    else
+        l.tail = n.prev;
+    --l.count;
+    if (is_write)
+        --writeCount_;
+    else
+        --readCount_;
+
+    const BankRecord& rec = dev_.bankRecord(n.bank);
+    if (rec.open() && rec.openRow == n.op.addr.row)
+        --l.hitCount;
+    if (l.count == 0) {
+        l.hitRep = kRepNone;
+        l.minArrivalLb = kTickMax;
+    } else if (l.hitRep == node) {
+        l.hitRep = l.hitCount == 0 ? kRepNone : kRepUnknown;
+    }
+
+    if (e.read.count == 0 && e.write.count == 0) {
+        const int last = activeBanks_.back();
+        activeBanks_[static_cast<std::size_t>(e.activePos)] = last;
+        bankIx_[static_cast<std::size_t>(last)].activePos = e.activePos;
+        activeBanks_.pop_back();
+        e.activePos = -1;
+    }
+    freeNodes_.push_back(node);
+}
+
+void
+ConventionalMc::rescanList(BankList& l, int open_row)
+{
+    l.hitCount = 0;
+    l.hitRep = kRepNone;
+    Tick min_arr = kTickMax;
+    for (int i = l.head; i != -1;
+         i = pool_[static_cast<std::size_t>(i)].next) {
+        const OpNode& n = pool_[static_cast<std::size_t>(i)];
+        min_arr = std::min(min_arr, n.op.arrival);
+        if (open_row >= 0 && n.op.addr.row == open_row) {
+            ++l.hitCount;
+            if (l.hitRep == kRepNone ||
+                n.op.arrival <
+                    pool_[static_cast<std::size_t>(l.hitRep)].op.arrival) {
+                l.hitRep = i; // walk is in seq order: ties keep the first
+            }
+        }
+    }
+    l.minArrivalLb = min_arr;
+}
+
+void
+ConventionalMc::reindexBankRow(int bank)
+{
+    BankEntry& e = bankIx_[static_cast<std::size_t>(bank)];
+    const BankRecord& rec = dev_.bankRecord(bank);
+    const int open_row = rec.open() ? rec.openRow : -1;
+    rescanList(e.read, open_row);
+    rescanList(e.write, open_row);
+}
+
+int
+ConventionalMc::resolveHitRep(BankList& l, int open_row)
+{
+    if (l.hitRep != kRepUnknown)
+        return l.hitRep;
+    rescanList(l, open_row);
+    return l.hitRep;
+}
+
+int
+ConventionalMc::agedConflictRep(const BankEntry& e, bool any_write,
+                                int open_row, bool& rep_is_write)
+{
+    const Tick thr = cfg_.agePriorityThreshold;
+    if (e.read.count > 0 && now_ - e.read.minArrivalLb > thr) {
+        for (int i = e.read.head; i != -1;
+             i = pool_[static_cast<std::size_t>(i)].next) {
+            const OpNode& n = pool_[static_cast<std::size_t>(i)];
+            if (now_ - n.op.arrival > thr && n.op.addr.row != open_row) {
+                rep_is_write = false;
+                return i;
+            }
+        }
+    }
+    if (any_write && e.write.count > 0 &&
+        now_ - e.write.minArrivalLb > thr) {
+        for (int i = e.write.head; i != -1;
+             i = pool_[static_cast<std::size_t>(i)].next) {
+            const OpNode& n = pool_[static_cast<std::size_t>(i)];
+            if (now_ - n.op.arrival > thr && n.op.addr.row != open_row) {
+                rep_is_write = true;
+                return i;
+            }
+        }
+    }
+    return -1;
+}
+
+void
+ConventionalMc::noteBankOpened(int bank)
+{
+    BankEntry& e = bankIx_[static_cast<std::size_t>(bank)];
+    if (e.openPos != -1)
+        return;
+    e.openPos = static_cast<int>(openBanks_.size());
+    openBanks_.push_back(bank);
+}
+
+void
+ConventionalMc::noteBankClosed(int bank)
+{
+    BankEntry& e = bankIx_[static_cast<std::size_t>(bank)];
+    if (e.openPos == -1)
+        return;
+    const int last = openBanks_.back();
+    openBanks_[static_cast<std::size_t>(e.openPos)] = last;
+    bankIx_[static_cast<std::size_t>(last)].openPos = e.openPos;
+    openBanks_.pop_back();
+    e.openPos = -1;
+}
+
+void
+ConventionalMc::applyRowCommand(const Command& cmd)
+{
+    const int bank = flatBankIndex(dramCfg_.org, cmd.addr);
+    if (cmd.kind == CmdKind::Act)
+        noteBankOpened(bank);
+    else if (cmd.kind == CmdKind::Pre)
+        noteBankClosed(bank);
+    reindexBankRow(bank);
+}
+
+bool
+ConventionalMc::stepOnceIndexed(Tick until)
+{
+    readOutstanding_.release(now_);
+    writeOutstanding_.release(now_);
+    pumpArrivals();
+    updateWriteDrain();
+
+    ++stepStamp_;
+    Candidate best;
+    bool have_best = false;
+    // Probe pruning: a candidate whose cheap lower bound (floor) cannot
+    // strictly beat the running best — and whose tie-break key loses on an
+    // exact tie — is discarded without the exact earliestIssue probe.
+    const auto consider = [&](Candidate& c) {
+        if (have_best) {
+            if (c.floor > best.earliest)
+                return;
+            if (c.floor == best.earliest && candRankLess(best, c))
+                return;
+        }
+        c.earliest = dev_.earliestIssue(c.cmd, now_);
+        if (c.earliest == kTickMax)
+            return;
+        if (!have_best || candBeats(c, best)) {
+            best = c;
+            have_best = true;
+        }
+    };
+
+    // --- refresh candidates + the per-step forced-block table -----------
+    if (cfg_.refreshEnabled) {
+        for (std::size_t i = 0; i < refreshUnits_.size(); ++i) {
+            const RefreshUnit& u = refreshUnits_[i];
+            unitForcedBank_[i] = -1;
+            const int pending = pendingRefreshCount(u);
+            if (pending == 0)
+                continue;
+            DramAddress a;
+            a.pc = u.pc;
+            a.sid = u.sid;
+            a.bg = u.rot.cursor / dramCfg_.org.banksPerGroup;
+            a.bank = u.rot.cursor % dramCfg_.org.banksPerGroup;
+            const int bank = flatBankIndex(dramCfg_.org, a);
+            const BankEntry& e = bankIx_[static_cast<std::size_t>(bank)];
+            const bool forced = pending >= kRefreshForceAt;
+            if (forced) {
+                unitForcedBank_[i] = bank;
+            } else if (e.read.count + e.write.count > 0) {
+                continue; // postpone while the target bank has queued work
+            }
+            Candidate c;
+            c.isRefresh = true;
+            c.refreshUnit = static_cast<int>(i);
+            c.priority = forced ? kPrioForced : kPrioRefresh;
+            c.age = u.rot.due; // most-overdue first among refresh ties
+            c.rankCat = kRankRefresh;
+            c.rankIdx = i;
+            if (dev_.bankRecord(a).open()) {
+                a.row = dev_.openRow(a);
+                c.cmd = Command{CmdKind::Pre, a};
+            } else {
+                c.cmd = Command{CmdKind::RefPb, a};
+            }
+            c.floor = now_;
+            consider(c);
+        }
+    }
+
+    // --- op candidates: one walk over the banks that have work ----------
+    const bool draining = drainingWrites_;
+    const Tick thr = cfg_.agePriorityThreshold;
+    for (const int b : activeBanks_) {
+        BankEntry& e = bankIx_[static_cast<std::size_t>(b)];
+        const bool any_read = e.read.count > 0;
+        const bool any_write = draining && e.write.count > 0;
+        if (!any_read && !any_write)
+            continue;
+        if (cfg_.refreshEnabled &&
+            unitForcedBank_[static_cast<std::size_t>(
+                b / dramCfg_.org.banksPerSid())] == b) {
+            continue; // bank held for a forced refresh
+        }
+        const BankRecord& rec = dev_.bankRecord(b);
+        if (!rec.open()) {
+            // One structural ACT candidate: the first queued op (in
+            // read-then-write admission order) supplies row and age.
+            const int node = any_read ? e.read.head : e.write.head;
+            const OpNode& n = pool_[static_cast<std::size_t>(node)];
+            Candidate c;
+            c.cmd = Command{CmdKind::Act, n.op.addr};
+            c.priority =
+                now_ - n.op.arrival > thr ? kPrioForced : kPrioAct;
+            c.age = n.op.arrival;
+            c.rankCat = any_read ? kRankReadOp : kRankWriteOp;
+            c.rankIdx = n.seq;
+            c.floor = dev_.actFloor(n.op.addr.pc, n.op.addr.sid, now_);
+            consider(c);
+            continue;
+        }
+
+        const bool has_hit =
+            e.read.hitCount > 0 || (draining && e.write.hitCount > 0);
+        if (any_read && e.read.hitCount > 0) {
+            const int rep = resolveHitRep(e.read, rec.openRow);
+            const OpNode& n = pool_[static_cast<std::size_t>(rep)];
+            Candidate c;
+            c.cmd = Command{CmdKind::Rd, n.op.addr};
+            c.priority =
+                now_ - n.op.arrival > thr ? kPrioForced : kPrioCasHit;
+            c.age = n.op.arrival;
+            c.opIndex = rep;
+            c.isWrite = false;
+            c.rankCat = kRankReadOp;
+            c.rankIdx = n.seq;
+            c.floor = dev_.casFloor(n.op.addr.pc, now_);
+            consider(c);
+        }
+        if (any_write && e.write.hitCount > 0) {
+            const int rep = resolveHitRep(e.write, rec.openRow);
+            const OpNode& n = pool_[static_cast<std::size_t>(rep)];
+            Candidate c;
+            c.cmd = Command{CmdKind::Wr, n.op.addr};
+            c.priority =
+                now_ - n.op.arrival > thr ? kPrioForced : kPrioCasHit;
+            c.age = n.op.arrival;
+            c.opIndex = rep;
+            c.isWrite = true;
+            c.rankCat = kRankWriteOp;
+            c.rankIdx = n.seq;
+            c.floor = dev_.casFloor(n.op.addr.pc, now_);
+            consider(c);
+        }
+
+        // Conflict precharge: only when no queued op still hits the open
+        // row, unless a conflicting op is aged (QoS).
+        const bool conflicts =
+            e.read.count - e.read.hitCount > 0 ||
+            (any_write && e.write.count - e.write.hitCount > 0);
+        if (conflicts) {
+            int rep = -1;
+            bool rep_write = false;
+            if (!has_hit) {
+                rep = any_read ? e.read.head : e.write.head;
+                rep_write = !any_read;
+            } else {
+                rep = agedConflictRep(e, any_write, rec.openRow, rep_write);
+            }
+            if (rep != -1) {
+                const OpNode& n = pool_[static_cast<std::size_t>(rep)];
+                DramAddress a = n.op.addr;
+                a.row = rec.openRow;
+                Candidate c;
+                c.cmd = Command{CmdKind::Pre, a};
+                c.priority =
+                    now_ - n.op.arrival > thr ? kPrioForced : kPrioPre;
+                c.age = n.op.arrival;
+                c.rankCat = rep_write ? kRankWriteOp : kRankReadOp;
+                c.rankIdx = n.seq;
+                c.floor = now_;
+                e.preStamp = stepStamp_;
+                consider(c);
+            }
+        }
+    }
+
+    // --- close/adaptive policies: precharge idle open rows --------------
+    if (cfg_.pagePolicy != PagePolicy::Open) {
+        for (const int b : openBanks_) {
+            BankEntry& e = bankIx_[static_cast<std::size_t>(b)];
+            if (e.read.hitCount > 0 || (draining && e.write.hitCount > 0))
+                continue;
+            const BankRecord& rec = dev_.bankRecord(b);
+            if (cfg_.pagePolicy == PagePolicy::Adaptive &&
+                now_ - bankLastUse(rec) < cfg_.adaptiveIdleTimeout) {
+                continue;
+            }
+            if (e.preStamp == stepStamp_)
+                continue; // a conflict-PRE for this bank already exists
+            DramAddress a = e.addr;
+            a.row = rec.openRow;
+            Candidate c;
+            c.cmd = Command{CmdKind::Pre, a};
+            c.priority = kPrioIdlePre;
+            c.age = 0;
+            c.rankCat = kRankIdlePre;
+            c.rankIdx = static_cast<std::uint64_t>(b);
+            c.floor = now_;
+            consider(c);
+        }
+    }
+
+    if (!have_best) {
+        Tick adaptive_next = kTickMax;
+        if (cfg_.pagePolicy == PagePolicy::Adaptive) {
+            for (const int b : openBanks_) {
+                adaptive_next = std::min(
+                    adaptive_next,
+                    std::max(now_ + 1, bankLastUse(dev_.bankRecord(b)) +
+                                           cfg_.adaptiveIdleTimeout));
+            }
+        }
+        const Tick next = idleWakeTick(adaptive_next);
+        if (next == kTickMax || next > until) {
+            now_ = std::min(until, kTickMax);
+            return false;
+        }
+        now_ = next;
+        return true;
+    }
+
+    if (best.earliest > until) {
+        now_ = until;
+        return false;
+    }
+
+    now_ = best.earliest;
+    const auto res = dev_.issue(best.cmd, now_);
+    readQOcc_.sample(static_cast<double>(readCount_));
+
+    if (best.isRefresh) {
+        if (best.cmd.kind == CmdKind::RefPb) {
+            RefreshUnit& u =
+                refreshUnits_[static_cast<std::size_t>(best.refreshUnit)];
+            u.rot.advance(dramCfg_.org.banksPerSid());
+        } else {
+            applyRowCommand(best.cmd); // opportunistic-refresh precharge
+        }
+    } else if (best.cmd.kind == CmdKind::Rd ||
+               best.cmd.kind == CmdKind::Wr) {
+        const Op op = pool_[static_cast<std::size_t>(best.opIndex)].op;
+        removeOpIndexed(best.opIndex);
+        (best.isWrite ? writeOutstanding_ : readOutstanding_)
+            .push(res.dataUntil);
+        ++casIssued_;
+        completeOp(op, res.dataUntil);
+    } else {
+        applyRowCommand(best.cmd); // ACT or conflict/idle PRE
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy scheduler (the seed's rescan-everything loop; decision oracle)
+// ---------------------------------------------------------------------------
 
 void
 ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
@@ -149,11 +728,10 @@ ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
 void
 ConventionalMc::collectOpCandidates(std::vector<Candidate>& out) const
 {
-    // Per-bank summary: does any queued op hit the open row / want the bank?
+    // Per-bank summary: does any queued op hit the open row?
     struct BankWork
     {
         bool hasHit = false;
-        Tick oldestConflict = kTickMax;
     };
     std::unordered_map<int, BankWork> work;
     const auto scan = [&](const std::vector<Op>& q) {
@@ -163,8 +741,6 @@ ConventionalMc::collectOpCandidates(std::vector<Candidate>& out) const
             auto& w = work[idx];
             if (rec.open() && rec.openRow == op.addr.row)
                 w.hasHit = true;
-            else if (rec.open())
-                w.oldestConflict = std::min(w.oldestConflict, op.arrival);
         }
     };
     scan(readQ_);
@@ -235,14 +811,10 @@ ConventionalMc::collectOpCandidates(std::vector<Candidate>& out) const
                         const auto it = work.find(idx);
                         if (it != work.end() && it->second.hasHit)
                             continue;
-                        if (cfg_.pagePolicy == PagePolicy::Adaptive) {
-                            const Tick last_use =
-                                std::max(rec.lastAct,
-                                         rec.lastCas == kTickInvalid
-                                             ? rec.lastAct
-                                             : rec.lastCas);
-                            if (now_ - last_use < cfg_.adaptiveIdleTimeout)
-                                continue;
+                        if (cfg_.pagePolicy == PagePolicy::Adaptive &&
+                            now_ - bankLastUse(rec) <
+                                cfg_.adaptiveIdleTimeout) {
+                            continue;
                         }
                         if (!pre_banks.insert(idx).second)
                             continue;
@@ -261,35 +833,13 @@ ConventionalMc::collectOpCandidates(std::vector<Candidate>& out) const
     }
 }
 
-void
-ConventionalMc::completeOp(const Op& op, Tick data_end)
-{
-    if (op.kind == ReqKind::Read)
-        bytesRead_ += dramCfg_.org.columnBytes;
-    else
-        bytesWritten_ += dramCfg_.org.columnBytes;
-    noteOpDone(op.reqId, data_end);
-}
-
 bool
-ConventionalMc::stepOnce(Tick until)
+ConventionalMc::stepOnceLegacy(Tick until)
 {
     readOutstanding_.release(now_);
     writeOutstanding_.release(now_);
     pumpArrivals();
-
-    // Write-drain hysteresis.
-    const auto w_occ = static_cast<double>(writeQ_.size());
-    const auto w_depth = static_cast<double>(cfg_.writeQueueDepth);
-    if (!drainingWrites_) {
-        if (w_occ >= cfg_.writeHighWatermark * w_depth ||
-            (readQ_.empty() && !writeQ_.empty())) {
-            drainingWrites_ = true;
-        }
-    } else if (w_occ <= cfg_.writeLowWatermark * w_depth &&
-               !(readQ_.empty() && !writeQ_.empty())) {
-        drainingWrites_ = false;
-    }
+    updateWriteDrain();
 
     std::vector<Candidate> cands;
     cands.reserve(readQ_.size() + writeQ_.size() + refreshUnits_.size());
@@ -297,21 +847,7 @@ ConventionalMc::stepOnce(Tick until)
     collectOpCandidates(cands);
 
     if (cands.empty()) {
-        // Nothing schedulable: jump to the next arrival, queue-entry
-        // release, refresh due time, or adaptive-policy timeout expiry.
-        Tick next = kTickMax;
-        if (!host_.empty()) {
-            Tick admit_at = std::max(host_.front().arrival, now_ + 1);
-            Tick first_free = std::min(readOutstanding_.firstFreeAfter(now_),
-                                       writeOutstanding_.firstFreeAfter(now_));
-            if (first_free != kTickMax)
-                admit_at = std::min(admit_at, std::max(now_ + 1, first_free));
-            next = std::min(next, admit_at);
-        }
-        for (const auto& u : refreshUnits_) {
-            if (pendingRefreshCount(u) == 0)
-                next = std::min(next, u.rot.due);
-        }
+        Tick adaptive_next = kTickMax;
         if (cfg_.pagePolicy == PagePolicy::Adaptive) {
             for (int pc = 0; pc < dramCfg_.org.pcsPerChannel; ++pc) {
                 for (int sid = 0; sid < dramCfg_.org.sidsPerChannel; ++sid) {
@@ -323,20 +859,17 @@ ConventionalMc::stepOnce(Tick until)
                                 DramAddress{pc, sid, bg, ba, 0, 0});
                             if (!rec.open())
                                 continue;
-                            const Tick last_use =
-                                std::max(rec.lastAct,
-                                         rec.lastCas == kTickInvalid
-                                             ? rec.lastAct
-                                             : rec.lastCas);
-                            next = std::min(
-                                next, std::max(now_ + 1,
-                                               last_use +
-                                               cfg_.adaptiveIdleTimeout));
+                            adaptive_next = std::min(
+                                adaptive_next,
+                                std::max(now_ + 1,
+                                         bankLastUse(rec) +
+                                         cfg_.adaptiveIdleTimeout));
                         }
                     }
                 }
             }
         }
+        const Tick next = idleWakeTick(adaptive_next);
         if (next == kTickMax || next > until) {
             now_ = std::min(until, kTickMax);
             return false;
@@ -381,6 +914,10 @@ ConventionalMc::stepOnce(Tick until)
     }
     return true;
 }
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
 
 double
 ConventionalMc::achievedBandwidth() const

@@ -7,6 +7,23 @@
  * command scheduler with open/close/adaptive page policies and age-based
  * QoS, and a per-bank refresh scheduler with bounded postponing.
  *
+ * Two scheduler implementations produce bit-identical command streams:
+ *
+ *  - The *indexed* scheduler (default) keeps every queued column op in a
+ *    pooled node linked into its bank's per-queue FIFO list, with per-bank
+ *    summaries (queued-op counts, open-row hit counts, cached best-hit
+ *    representatives, oldest-arrival bounds) maintained incrementally on
+ *    admit/issue/row-change. A scheduling step walks only the banks that
+ *    have work, emits at most one ACT/PRE candidate per bank structurally
+ *    (no per-step hash sets), consults a per-step refresh-block table, and
+ *    tracks the running best candidate — zero heap allocation in steady
+ *    state and O(active banks) device probes per step.
+ *
+ *  - The *legacy* scheduler (McConfig::legacyScheduler) is the seed
+ *    FR-FCFS loop that rebuilds its whole candidate set from the flat
+ *    queues every step. It is retained as the decision-order oracle: the
+ *    parity tests assert ControllerStats equality between the two.
+ *
  * The controller drives one ChannelDevice; every command it emits is
  * re-validated by the device against the full timing rule set.
  *
@@ -60,6 +77,12 @@ struct McConfig
     Tick agePriorityThreshold = ticksFromNs(static_cast<std::int64_t>(5000));
     /** Adaptive policy: precharge an idle open row after this long. */
     Tick adaptiveIdleTimeout = ticksFromNs(static_cast<std::int64_t>(100));
+    /**
+     * Use the seed's rescan-everything scheduler instead of the
+     * incremental per-bank index. Decisions are bit-identical; this exists
+     * as the parity oracle and as the baseline of bench_sched_hotpath.
+     */
+    bool legacyScheduler = false;
 };
 
 /** Conventional column-granularity memory controller for one channel. */
@@ -111,12 +134,67 @@ class ConventionalMc : public ChannelControllerBase
     {
         Command cmd;
         Tick earliest;
+        /** Cheap lower bound on earliest (ChannelDevice::casFloor etc.);
+         *  lets the indexed scheduler skip exact probes that cannot win. */
+        Tick floor = 0;
         int priority;     // smaller = more urgent
         Tick age;         // older first among equals
-        int opIndex = -1; // index into the relevant queue for CAS
+        /** Legacy: index into the flat queue. Indexed: pool node id. */
+        int opIndex = -1;
         bool isWrite = false;
         bool isRefresh = false;
         int refreshUnit = -1;
+        /**
+         * Final tie-break, encoding the legacy candidate collection order:
+         * category (refresh < read op < write op < idle-PRE) then the
+         * in-category index (refresh-unit index, op admission sequence, or
+         * flat bank index). Unique per candidate, so the indexed
+         * scheduler's running-best selection reproduces the legacy
+         * first-encountered-wins result exactly.
+         */
+        int rankCat = 0;
+        std::uint64_t rankIdx = 0;
+    };
+
+    // ---- incremental per-bank scheduling index -------------------------
+
+    static constexpr int kRepNone = -1;    ///< no hit representative
+    static constexpr int kRepUnknown = -2; ///< representative needs rescan
+
+    /** Pooled node of one queued op, linked into its bank's FIFO list. */
+    struct OpNode
+    {
+        Op op;
+        std::uint64_t seq = 0; ///< admission order (== flat-queue position)
+        int bank = -1;         ///< flat bank index
+        int prev = -1;
+        int next = -1;
+    };
+
+    /** One bank's per-queue FIFO list plus its incremental summary. */
+    struct BankList
+    {
+        int head = -1;
+        int tail = -1;
+        int count = 0;
+        /** Ops hitting the currently open row (meaningful while open). */
+        int hitCount = 0;
+        /** Min-(arrival, seq) hit op — the bank's best CAS candidate. */
+        int hitRep = kRepNone;
+        /** Lower bound on the oldest arrival queued here (aged-QoS gate). */
+        Tick minArrivalLb = kTickMax;
+    };
+
+    /** Per-bank index entry. */
+    struct BankEntry
+    {
+        BankList read;
+        BankList write;
+        int activePos = -1; ///< position in activeBanks_, -1 when absent
+        int openPos = -1;   ///< position in openBanks_, -1 when closed
+        /** Step stamp of an emitted conflict-PRE (dedupes idle-PRE). */
+        std::uint64_t preStamp = 0;
+        DramAddress addr;   ///< bank coordinates (row/col unused)
     };
 
     bool admitOps() override;
@@ -127,19 +205,59 @@ class ConventionalMc : public ChannelControllerBase
     }
     bool stepOnce(Tick until) override;
 
-    void collectRefreshCandidates(std::vector<Candidate>& out) const;
-    void collectOpCandidates(std::vector<Candidate>& out) const;
+    // ---- shared helpers ------------------------------------------------
+    void updateWriteDrain();
+    std::size_t readQueueSize() const;
+    std::size_t writeQueueSize() const;
     void completeOp(const Op& op, Tick data_end);
     int pendingRefreshCount(const RefreshUnit& u) const;
     bool refreshBlocked(const DramAddress& a) const;
+    Tick idleWakeTick(Tick adaptive_next) const;
+
+    // ---- indexed scheduler ---------------------------------------------
+    bool stepOnceIndexed(Tick until);
+    void insertOpIndexed(Op op);
+    void removeOpIndexed(int node);
+    /** Rebuild a bank's hit summaries after its open row changed. */
+    void reindexBankRow(int bank);
+    void rescanList(BankList& l, int open_row);
+    int resolveHitRep(BankList& l, int open_row);
+    /** First aged conflicting op in read-then-write seq order, or -1. */
+    int agedConflictRep(const BankEntry& e, bool any_write, int open_row,
+                        bool& rep_is_write);
+    void noteBankOpened(int bank);
+    void noteBankClosed(int bank);
+    void applyRowCommand(const Command& cmd);
+    static bool candBeats(const Candidate& a, const Candidate& b);
+    static bool candRankLess(const Candidate& a, const Candidate& b);
+
+    // ---- legacy scheduler (decision-order oracle) ----------------------
+    bool stepOnceLegacy(Tick until);
+    void collectRefreshCandidates(std::vector<Candidate>& out) const;
+    void collectOpCandidates(std::vector<Candidate>& out) const;
 
     DramConfig dramCfg_;
     AddressMapping map_;
     McConfig cfg_;
     ChannelDevice dev_;
 
+    // Legacy flat queues (used only when cfg_.legacyScheduler).
     std::vector<Op> readQ_;
     std::vector<Op> writeQ_;
+
+    // Indexed scheduler state (used otherwise).
+    std::vector<OpNode> pool_;
+    std::vector<int> freeNodes_;
+    std::vector<BankEntry> bankIx_;
+    std::vector<int> activeBanks_; ///< banks with any queued op
+    std::vector<int> openBanks_;   ///< banks the MC holds open
+    /** Per refresh unit: cursor bank when its refresh is forced, else -1. */
+    std::vector<int> unitForcedBank_;
+    std::uint64_t admitSeq_ = 0;
+    std::uint64_t stepStamp_ = 0;
+    int readCount_ = 0;
+    int writeCount_ = 0;
+
     /** CAM entries of issued-but-incomplete column ops (count against
      *  queue depth until their data transfers). */
     OutstandingOps readOutstanding_;

@@ -46,6 +46,9 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
     }
     opSlots_.resize(static_cast<std::size_t>(cfg_.operateFsms));
     refSlots_.resize(static_cast<std::size_t>(cfg_.refreshFsms));
+    vbaBusyUntil_.assign(static_cast<std::size_t>(totalVbas_), 0);
+    vbaBusyState_.assign(static_cast<std::size_t>(totalVbas_),
+                         VbaState::Idle);
 }
 
 VbaAddress
@@ -156,6 +159,11 @@ RomeMc::nextRefreshDue() const
 VbaState
 RomeMc::vbaState(const VbaAddress& a, Tick at) const
 {
+    if (!cfg_.legacyScheduler) {
+        const auto key = static_cast<std::size_t>(vbaKey(a));
+        return vbaBusyUntil_[key] > at ? vbaBusyState_[key]
+                                       : VbaState::Idle;
+    }
     for (const auto& s : refSlots_) {
         if (s.busyUntil != kTickInvalid && s.busyUntil > at &&
             s.vba.sameVba(a)) {
@@ -173,6 +181,148 @@ RomeMc::vbaState(const VbaAddress& a, Tick at) const
 
 bool
 RomeMc::stepOnce(Tick until)
+{
+    return cfg_.legacyScheduler ? stepOnceLegacy(until)
+                                : stepOnceIndexed(until);
+}
+
+bool
+RomeMc::stepOnceIndexed(Tick until)
+{
+    outstanding_.release(now_);
+    pumpArrivals();
+    opBusy_.release(now_);
+    refBusy_.release(now_);
+
+    // --- Refresh: one VBA pair-refresh per interval, rotating (§V-B) ----
+    std::optional<VbaAddress> refresh_target;
+    if (cfg_.refreshEnabled && now_ >= refresh_.due) {
+        const int v = map_.vbasPerSid();
+        VbaAddress t;
+        t.vba = refresh_.cursor % v;
+        t.sid = (refresh_.cursor / v) %
+                map_.deviceOrganization().sidsPerChannel;
+        refresh_target = t;
+        const auto key = static_cast<std::size_t>(vbaKey(t));
+        if (vbaBusyUntil_[key] <= now_ &&
+            static_cast<int>(refBusy_.size()) < cfg_.refreshFsms) {
+            const auto res = gen_.execute({RowCmdKind::Ref, t}, now_);
+            refBusy_.push(res.vbaReadyAt);
+            vbaBusyUntil_[key] = res.vbaReadyAt;
+            vbaBusyState_[key] = VbaState::Refreshing;
+            refHighWater_ = std::max(
+                refHighWater_, static_cast<int>(refBusy_.size()));
+            refresh_.advance(totalVbas_);
+            return true;
+        }
+    }
+
+    // --- Data scheduling: issue the op that can go earliest; ties go to
+    // VBAs other than the last issued one (interleaving), then to age.
+    const Tick op_slot_free =
+        static_cast<int>(opBusy_.size()) < cfg_.operateFsms
+            ? now_
+            : opBusy_.firstFreeAfter(now_);
+
+    const RowOp* best = nullptr;
+    std::size_t best_idx = 0;
+    Tick best_at = kTickMax;
+    bool best_diff_vba = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const RowOp& op = queue_[i];
+        if (refresh_target && refresh_target->sameVba(op.cmd.addr))
+            continue; // let the pending refresh win the VBA
+        const bool is_write = op.cmd.kind == RowCmdKind::WrRow;
+        Tick at = op_slot_free;
+        if (lastRowCmdAt_ != kTickInvalid) {
+            const bool same_sid = lastRowCmdSid_ == op.cmd.addr.sid;
+            at = std::max(at, lastRowCmdAt_ +
+                          timing_.gap(lastRowCmdWasWrite_, is_write,
+                                          same_sid));
+        }
+        at = std::max(
+            at, vbaBusyUntil_[static_cast<std::size_t>(vbaKey(op.cmd.addr))]);
+        const bool diff_vba = !lastRowCmdVba_ ||
+                              !lastRowCmdVba_->sameVba(op.cmd.addr);
+        const bool better =
+            at < best_at ||
+            (at == best_at && diff_vba && !best_diff_vba) ||
+            (at == best_at && diff_vba == best_diff_vba && best &&
+             op.arrival < best->arrival);
+        if (!best || better) {
+            best = &op;
+            best_idx = i;
+            best_at = at;
+            best_diff_vba = diff_vba;
+        }
+    }
+
+    if (best) {
+        const bool is_write = best->cmd.kind == RowCmdKind::WrRow;
+        const Tick at = best_at;
+        if (at > until) {
+            now_ = until;
+            return false;
+        }
+
+        const RowOp op = queue_[best_idx];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best_idx));
+        const auto res = gen_.execute(op.cmd, at);
+        now_ = at;
+        outstanding_.push(res.dataUntil);
+
+        opBusy_.release(at);
+        opBusy_.push(res.vbaReadyAt);
+        const auto key = static_cast<std::size_t>(vbaKey(op.cmd.addr));
+        vbaBusyUntil_[key] = res.vbaReadyAt;
+        vbaBusyState_[key] =
+            is_write ? VbaState::Writing : VbaState::Reading;
+        opHighWater_ = std::max(opHighWater_,
+                                static_cast<int>(opBusy_.size()));
+
+        lastRowCmdAt_ = at;
+        lastRowCmdWasWrite_ = is_write;
+        lastRowCmdSid_ = op.cmd.addr.sid;
+        lastRowCmdVba_ = op.cmd.addr;
+
+        if (is_write)
+            bytesWritten_ += op.usefulBytes;
+        else
+            bytesRead_ += op.usefulBytes;
+        overfetch_ += res.bytes - op.usefulBytes;
+
+        noteOpDone(op.reqId, res.dataUntil);
+        return true;
+    }
+
+    // --- Nothing issuable: advance to the next event ----------------------
+    Tick next = kTickMax;
+    if (!host_.empty()) {
+        Tick admit_at = std::max(host_.front().arrival, now_ + 1);
+        if (queue_.size() + outstanding_.size() >=
+            static_cast<std::size_t>(cfg_.queueDepth)) {
+            // Admission is queue-bound: wake when the first entry frees.
+            admit_at = std::max(admit_at,
+                                outstanding_.firstFreeAfter(now_));
+        }
+        next = std::min(next, admit_at);
+    }
+    // A refresh that is already due but blocked wakes up when a slot frees
+    // (covered by the deadline-heap tops below).
+    if (nextRefreshDue() > now_)
+        next = std::min(next, nextRefreshDue());
+    next = std::min(next, opBusy_.firstFreeAfter(now_));
+    next = std::min(next, refBusy_.firstFreeAfter(now_));
+    if (next == kTickMax || next > until) {
+        now_ = until;
+        return false;
+    }
+    now_ = next;
+    return true;
+}
+
+bool
+RomeMc::stepOnceLegacy(Tick until)
 {
     outstanding_.release(now_);
     pumpArrivals();

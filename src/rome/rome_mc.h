@@ -77,6 +77,12 @@ struct RomeMcConfig
      * three (§V-A). Designs with more, smaller VBAs need more.
      */
     int refreshFsms = 0;
+    /**
+     * Use the seed's scan-every-slot scheduler instead of the
+     * deadline-heap + per-VBA busy index. Decisions are bit-identical;
+     * this exists as the parity oracle and the bench baseline.
+     */
+    bool legacyScheduler = false;
 };
 
 /** How channel-local addresses map onto (VBA, SID, row) chunks. */
@@ -150,11 +156,19 @@ class RomeMc : public ChannelControllerBase
         return map_.effectiveRowBytes();
     }
     bool stepOnce(Tick until) override;
+    bool stepOnceLegacy(Tick until);
+    bool stepOnceIndexed(Tick until);
 
     bool vbaBusy(const VbaAddress& a, Tick at) const;
     int busyCount(const std::vector<FsmSlot>& slots, Tick at) const;
     void retireSlots(Tick at);
     Tick nextRefreshDue() const;
+
+    // ---- deadline-heap slot accounting (indexed scheduler) --------------
+    int vbaKey(const VbaAddress& a) const
+    {
+        return a.sid * map_.vbasPerSid() + a.vba;
+    }
 
     DramConfig baseCfg_;
     VbaMap map_;
@@ -168,8 +182,19 @@ class RomeMc : public ChannelControllerBase
     /** CAM entries of issued-but-incomplete row ops (count against
      *  queueDepth until their data transfers). */
     OutstandingOps outstanding_;
+    /** Legacy scheduler: flat FSM-slot arrays, rescanned per step. */
     std::vector<FsmSlot> opSlots_;
     std::vector<FsmSlot> refSlots_;
+    /**
+     * Indexed scheduler: FSM occupancy as min-heaps on retire deadline
+     * (OutstandingOps: earliest-deadline retirement is a heap pop instead
+     * of a slot scan) plus a per-VBA busy table indexed by (sid, vba) key,
+     * so vbaBusy and the per-op ready-time query are O(1) lookups.
+     */
+    OutstandingOps opBusy_;
+    OutstandingOps refBusy_;
+    std::vector<Tick> vbaBusyUntil_;
+    std::vector<VbaState> vbaBusyState_;
 
     /** Last issued data command, for Table III gap bookkeeping. */
     Tick lastRowCmdAt_ = kTickInvalid;

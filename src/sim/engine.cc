@@ -88,6 +88,15 @@ ChannelControllerBase::enqueue(const Request& req)
     inflight_[req.id] = ReqState{req.arrival,
                                  static_cast<int>(last - first + 1)};
     host_.push_back(req);
+    // Keep the completion log's capacity ahead of everything enqueued so
+    // recording a completion never allocates inside the scheduling loop.
+    ++totalRequests_;
+    if (completions_.capacity() < totalRequests_) {
+        completions_.reserve(
+            std::max<std::size_t>({completions_.capacity() * 2,
+                                   static_cast<std::size_t>(totalRequests_),
+                                   64}));
+    }
 }
 
 void
@@ -117,6 +126,7 @@ void
 ChannelControllerBase::runUntil(Tick until)
 {
     while (now_ < until) {
+        ++steps_;
         if (!stepOnce(until))
             break;
     }
@@ -126,6 +136,7 @@ Tick
 ChannelControllerBase::drain()
 {
     while (!idle()) {
+        ++steps_;
         if (!stepOnce(kTickMax - 1))
             break;
     }

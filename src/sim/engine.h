@@ -30,6 +30,7 @@
 #ifndef ROME_SIM_ENGINE_H
 #define ROME_SIM_ENGINE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -177,6 +178,12 @@ struct RefreshRotation
  * tracks its transaction until the data transfers, so outstanding entries
  * still count against the queue depth (this is what makes deep queues
  * necessary for bank-parallelism, §V-A).
+ *
+ * Entries live in a min-heap on their release tick, so the controller hot
+ * loop pays O(log n) per push/release and O(1) for the next-release query
+ * that feeds the schedulers' event calendars. The backing vector's capacity
+ * persists across steps, so a warmed-up controller releases and pushes
+ * without touching the heap allocator.
  */
 class OutstandingOps
 {
@@ -185,24 +192,33 @@ class OutstandingOps
     void
     release(Tick now)
     {
-        std::size_t kept = 0;
-        for (const Tick t : ticks_) {
-            if (t > now)
-                ticks_[kept++] = t;
+        while (!heap_.empty() && heap_.front() <= now) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<Tick>{});
+            heap_.pop_back();
         }
-        ticks_.resize(kept);
     }
 
-    void push(Tick data_end) { ticks_.push_back(data_end); }
+    void
+    push(Tick data_end)
+    {
+        heap_.push_back(data_end);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<Tick>{});
+    }
 
-    std::size_t size() const { return ticks_.size(); }
+    std::size_t size() const { return heap_.size(); }
 
     /** Earliest strictly-future release, or kTickMax when none. */
     Tick
     firstFreeAfter(Tick now) const
     {
+        if (heap_.empty())
+            return kTickMax;
+        if (heap_.front() > now)
+            return heap_.front();
+        // Entries at or before now survive only between release() calls;
+        // fall back to an exact scan so the query stays correct anywhere.
         Tick first = kTickMax;
-        for (const Tick t : ticks_) {
+        for (const Tick t : heap_) {
             if (t > now && t < first)
                 first = t;
         }
@@ -210,7 +226,7 @@ class OutstandingOps
     }
 
   private:
-    std::vector<Tick> ticks_;
+    std::vector<Tick> heap_; ///< min-heap on release tick
 };
 
 /**
@@ -243,6 +259,9 @@ class ChannelControllerBase : public IMemoryController
 
     std::uint64_t bytesRead() const { return bytesRead_; }
     std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** Scheduling steps executed so far (hot-loop throughput metric). */
+    std::uint64_t stepsExecuted() const { return steps_; }
 
   protected:
     /** Host-request progress tracking. */
@@ -289,6 +308,9 @@ class ChannelControllerBase : public IMemoryController
     Accumulator latencyNs_;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
+    std::uint64_t steps_ = 0;
+    /** Requests ever enqueued; completions_ capacity is kept ahead of it. */
+    std::uint64_t totalRequests_ = 0;
 };
 
 // ---------------------------------------------------------------------------

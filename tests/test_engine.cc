@@ -238,5 +238,44 @@ TEST(Engine, ParallelForCoversEveryIndexOnce)
         EXPECT_EQ(h, 1);
 }
 
+TEST(Engine, OutstandingOpsHeapSemantics)
+{
+    OutstandingOps ops;
+    EXPECT_EQ(ops.size(), 0u);
+    EXPECT_EQ(ops.firstFreeAfter(0), kTickMax);
+
+    // Out-of-order pushes: the heap must always surface the earliest.
+    ops.push(500);
+    ops.push(100);
+    ops.push(300);
+    ops.push(100);
+    EXPECT_EQ(ops.size(), 4u);
+    EXPECT_EQ(ops.firstFreeAfter(0), 100);
+    EXPECT_EQ(ops.firstFreeAfter(100), 300);
+    EXPECT_EQ(ops.firstFreeAfter(499), 500);
+    EXPECT_EQ(ops.firstFreeAfter(500), kTickMax);
+
+    // release() drops everything at or before now, nothing else.
+    ops.release(100);
+    EXPECT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops.firstFreeAfter(0), 300);
+    ops.release(299);
+    EXPECT_EQ(ops.size(), 2u);
+    ops.release(500);
+    EXPECT_EQ(ops.size(), 0u);
+}
+
+TEST(Engine, StepCounterAdvancesWithWork)
+{
+    const DramConfig dram = hbm4Config();
+    auto mc = makeChannelController(MemorySystem::Hbm4, dram);
+    auto* base = dynamic_cast<ChannelControllerBase*>(mc.get());
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(base->stepsExecuted(), 0u);
+    mc->enqueue({1, ReqKind::Read, 0, 4096, 0});
+    mc->drain();
+    EXPECT_GT(base->stepsExecuted(), 0u);
+}
+
 } // namespace
 } // namespace rome

@@ -12,6 +12,7 @@
 
 #include "dram/hbm4_config.h"
 #include "rome/rome_mc.h"
+#include "sim/workloads.h"
 
 namespace rome
 {
@@ -244,6 +245,62 @@ TEST(RomeMc, WorksAcrossAllVbaDesigns)
         mc.drain();
         EXPECT_GT(mc.effectiveBandwidth(), 58.0) << d.name();
         EXPECT_EQ(mc.bytesRead(), 256_KiB) << d.name();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler parity: the deadline-heap + per-VBA-index scheduler must make
+// bit-identical decisions to the retained slot-rescan (legacy) scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(RomeSchedulerParity, AllDesignsAndMapOrders)
+{
+    RandomPattern p;
+    p.totalBytes = 512_KiB;
+    p.requestBytes = 4_KiB;
+    p.capacity = hbm4Config().org.channelCapacity();
+    p.writeFraction = 0.3;
+    p.seed = 21;
+    const auto reqs = randomRequests(p);
+
+    for (const auto& d : VbaDesign::all()) {
+        RomeMcConfig indexed;
+        RomeMcConfig legacy;
+        legacy.legacyScheduler = true;
+        RomeMc a(hbm4Config(), d, indexed);
+        RomeMc b(hbm4Config(), d, legacy);
+        EXPECT_TRUE(runWorkload(a, reqs) == runWorkload(b, reqs))
+            << d.name();
+        EXPECT_EQ(a.operateFsmHighWater(), b.operateFsmHighWater());
+        EXPECT_EQ(a.refreshFsmHighWater(), b.refreshFsmHighWater());
+    }
+    for (const RomeMapOrder order :
+         {RomeMapOrder::VbaSidRow, RomeMapOrder::SidVbaRow,
+          RomeMapOrder::RowVbaSid}) {
+        RomeMcConfig legacy;
+        legacy.legacyScheduler = true;
+        auto a = makeMc({}, order);
+        auto b = makeMc(legacy, order);
+        EXPECT_TRUE(runWorkload(a, reqs) == runWorkload(b, reqs));
+    }
+}
+
+TEST(RomeSchedulerParity, VbaStateAgrees)
+{
+    RomeMcConfig legacy;
+    legacy.legacyScheduler = true;
+    auto a = makeMc();
+    auto b = makeMc(legacy);
+    streamReads(a, 64_KiB, 4_KiB);
+    streamReads(b, 64_KiB, 4_KiB);
+    a.runUntil(200_ns);
+    b.runUntil(200_ns);
+    for (int sid = 0; sid < 4; ++sid) {
+        for (int vba = 0; vba < 8; ++vba) {
+            const VbaAddress addr{sid, vba, 0};
+            EXPECT_EQ(a.vbaState(addr, a.now()), b.vbaState(addr, b.now()))
+                << addr.str();
+        }
     }
 }
 
