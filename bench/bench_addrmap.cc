@@ -14,7 +14,7 @@
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -23,7 +23,10 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
-    const auto stream = shareRequests(streamRequests({1_MiB, 4_KiB}));
+    const StreamPattern pattern{1_MiB, 4_KiB};
+    const SourceFactory stream = [pattern] {
+        return std::make_unique<StreamSource>(pattern);
+    };
 
     std::vector<SweepJob> jobs;
     const auto mappings = standardMappings(dram.org);

@@ -14,7 +14,7 @@
 #include "rome/ecc.h"
 #include "rome/hybrid.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -29,21 +29,23 @@ main()
         SparseMixPattern p;
         p.fineFraction = frac;
         p.totalBytes = 2_MiB;
-        const auto reqs = shareRequests(sparseMixRequests(p));
+        const SourceFactory mix = [p] {
+            return std::make_unique<SparseMixSource>(p);
+        };
         jobs.push_back(SweepJob{
             Table::percent(frac, 0),
             [] {
                 return std::make_unique<RomeMc>(
                     hbm4Config(), VbaDesign::adopted(), RomeMcConfig{});
             },
-            reqs});
+            mix});
         jobs.push_back(SweepJob{
             Table::percent(frac, 0),
             [] {
                 return std::make_unique<HybridMc>(hbm4Config(),
                                                   HybridConfig{});
             },
-            reqs});
+            mix});
     }
     const auto results = runSweep(std::move(jobs));
 

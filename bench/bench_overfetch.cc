@@ -17,7 +17,7 @@
 #include "dram/hbm4_config.h"
 #include "sim/engine.h"
 #include "sim/memsim.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -35,13 +35,15 @@ main()
         p.requestBytes = req;
         p.totalBytes = 2_MiB;
         p.capacity = dram.org.channelCapacity();
-        const auto reqs = shareRequests(randomRequests(p));
+        const SourceFactory random = [p] {
+            return std::make_unique<RandomSource>(p);
+        };
         for (const MemorySystem sys :
              {MemorySystem::Hbm4, MemorySystem::RoMe}) {
             jobs.push_back(SweepJob{
                 Table::bytes(req),
                 [sys, dram] { return makeChannelController(sys, dram); },
-                reqs});
+                random});
         }
     }
     const auto results = runSweep(std::move(jobs));

@@ -16,7 +16,7 @@
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -35,23 +35,26 @@ baselineJob(int depth_per_pc, bool random_access)
     cfg.refreshEnabled = false;
     cfg.readQueueDepth = depth_per_pc * dram.org.pcsPerChannel;
     cfg.writeQueueDepth = cfg.readQueueDepth;
-    std::vector<Request> reqs;
+    SourceFactory source;
     if (random_access) {
         RandomPattern p;
         p.seed = 7;
         p.requestBytes = 32;
         p.totalBytes = 30000 * 32;
         p.capacity = dram.org.channelCapacity();
-        reqs = randomRequests(p);
+        source = [p] { return std::make_unique<RandomSource>(p); };
     } else {
-        reqs = streamRequests({1_MiB, 4_KiB});
+        source = [] {
+            return std::make_unique<StreamSource>(
+                StreamPattern{1_MiB, 4_KiB});
+        };
     }
     return SweepJob{std::to_string(depth_per_pc),
                     [dram, cfg] {
                         return std::make_unique<ConventionalMc>(
                             dram, bestBaselineMapping(dram.org), cfg);
                     },
-                    std::move(reqs)};
+                    std::move(source)};
 }
 
 SweepJob
@@ -65,7 +68,10 @@ romeJob(int depth)
                         return std::make_unique<RomeMc>(
                             hbm4Config(), VbaDesign::adopted(), cfg);
                     },
-                    streamRequests({1_MiB, 4_KiB})};
+                    SourceFactory{[] {
+                        return std::make_unique<StreamSource>(
+                            StreamPattern{1_MiB, 4_KiB});
+                    }}};
 }
 
 } // namespace

@@ -15,7 +15,7 @@
 #include "rome/cmdgen.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -33,7 +33,10 @@ streamJob(bool refresh)
                         return std::make_unique<RomeMc>(
                             hbm4Config(), VbaDesign::adopted(), cfg);
                     },
-                    streamRequests({4_MiB, 4_KiB})};
+                    SourceFactory{[] {
+                        return std::make_unique<StreamSource>(
+                            StreamPattern{4_MiB, 4_KiB});
+                    }}};
 }
 
 } // namespace

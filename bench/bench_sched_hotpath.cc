@@ -16,6 +16,7 @@
  * trajectory. `--quick` runs a reduced grid for CI smoke runs.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -64,8 +65,12 @@ void*
 operator new(std::size_t n, std::align_val_t align)
 {
     g_allocs.fetch_add(1, std::memory_order_relaxed);
-    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
-                                     n ? n : 1))
+    // aligned_alloc requires the size to be a multiple of the alignment
+    // (UB / NULL on non-glibc otherwise).
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (std::max<std::size_t>(n, 1) + a - 1) /
+                                a * a;
+    if (void* p = std::aligned_alloc(a, rounded))
         return p;
     throw std::bad_alloc();
 }

@@ -14,7 +14,7 @@
 #include "dram/hbm4_config.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -24,7 +24,10 @@ main()
 {
     const DramConfig dram = hbm4Config();
     // 1 MiB mixed stream: every 16th 8 KiB request is a write.
-    const auto stream = shareRequests(streamRequests({1_MiB, 8_KiB, 0, 16}));
+    const StreamPattern pattern{1_MiB, 8_KiB, 0, 16};
+    const SourceFactory stream = [pattern] {
+        return std::make_unique<StreamSource>(pattern);
+    };
 
     std::vector<SweepJob> jobs;
     for (const auto& d : VbaDesign::all()) {

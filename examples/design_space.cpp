@@ -17,7 +17,7 @@
 #include "rome/rome_mc.h"
 #include "rome/rome_timing.h"
 #include "sim/engine.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -26,7 +26,9 @@ int
 main()
 {
     const DramConfig dram = hbm4Config();
-    const auto stream = shareRequests(streamRequests({1_MiB, 8_KiB}));
+    const SourceFactory stream = [] {
+        return std::make_unique<StreamSource>(StreamPattern{1_MiB, 8_KiB});
+    };
 
     std::vector<SweepJob> jobs;
     for (const auto& d : VbaDesign::all()) {

@@ -22,7 +22,7 @@
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
 #include "sim/memsim.h"
-#include "sim/workloads.h"
+#include "sim/source.h"
 
 using namespace rome;
 using namespace rome::literals;
@@ -63,26 +63,28 @@ main(int argc, char** argv)
         << 20;
 
     const DramConfig dram = hbm4Config();
-    std::vector<Request> reqs;
+    // The workload streams through the engine lazily — nothing is
+    // materialized, so arbitrarily large totals explore in O(1) memory.
+    std::unique_ptr<RequestSource> source;
     if (!std::strcmp(pattern, "random")) {
         RandomPattern p;
         p.requestBytes = req;
         p.totalBytes = total;
         p.capacity = dram.org.channelCapacity();
         p.writeFraction = 0.05;
-        reqs = randomRequests(p);
+        source = std::make_unique<RandomSource>(p);
     } else if (!std::strcmp(pattern, "sparse")) {
         SparseMixPattern p;
         p.fineBytes = req < 4096 ? req : 512;
         p.totalBytes = total;
         p.capacity = dram.org.channelCapacity();
-        reqs = sparseMixRequests(p);
+        source = std::make_unique<SparseMixSource>(p);
     } else {
         StreamPattern p;
         p.requestBytes = req;
         p.totalBytes = total;
         p.writeFraction = 0.05;
-        reqs = streamRequests(p);
+        source = std::make_unique<StreamSource>(p);
     }
 
     std::printf("%s | %s | %llu B requests | %llu MiB total\n",
@@ -101,7 +103,7 @@ main(int argc, char** argv)
         ctrl = makeChannelController(
             use_rome ? MemorySystem::RoMe : MemorySystem::Hbm4, dram);
     const int ch = engine.addChannel(std::move(ctrl));
-    engine.enqueue(ch, reqs);
+    engine.bindSource(ch, std::move(source));
     engine.drainAll();
 
     const IMemoryController& mc = engine.channel(ch);

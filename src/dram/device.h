@@ -131,6 +131,48 @@ class ChannelDevice
         return t;
     }
 
+    /**
+     * Lower bound for a PRE to the bank at @p a at or after @p t: the
+     * tRAS window since its ACT and the read/write recovery (tRTP / tWR)
+     * since its last CAS — everything earliestPre enforces except the
+     * row-bus slot lookup.
+     */
+    Tick
+    preFloor(const DramAddress& a, Tick t) const
+    {
+        const BankRecord& b = bank(a);
+        if (b.lastAct != kTickInvalid && b.lastAct + t_.tRAS > t)
+            t = b.lastAct + t_.tRAS;
+        if (b.lastCas != kTickInvalid) {
+            const Tick rec =
+                b.lastCas + (b.lastCasWasWrite ? t_.tWR : t_.tRTP);
+            if (rec > t)
+                t = rec;
+        }
+        return t;
+    }
+
+    /**
+     * Lower bound for a REFpb to the bank at @p a at or after @p t:
+     * precharge completion, its own and the (PC, SID)'s refresh busy
+     * windows, and tRREFD spacing.
+     */
+    Tick
+    refPbFloor(const DramAddress& a, Tick t) const
+    {
+        const BankRecord& b = bank(a);
+        if (b.lastPre != kTickInvalid && b.lastPre + t_.tRP > t)
+            t = b.lastPre + t_.tRP;
+        if (b.refUntil != kTickInvalid && b.refUntil > t)
+            t = b.refUntil;
+        const SidRecord& s = sidRec(a.pc, a.sid);
+        if (s.refAbUntil != kTickInvalid && s.refAbUntil > t)
+            t = s.refAbUntil;
+        if (s.lastRefPb != kTickInvalid && s.lastRefPb + t_.tRREFD > t)
+            t = s.lastRefPb + t_.tRREFD;
+        return t;
+    }
+
     /** Tick at which the last issued command's data transfer finishes. */
     Tick lastDataEnd() const { return lastDataEnd_; }
 

@@ -496,10 +496,11 @@ ConventionalMc::stepOnceIndexed(Tick until)
             if (dev_.bankRecord(a).open()) {
                 a.row = dev_.openRow(a);
                 c.cmd = Command{CmdKind::Pre, a};
+                c.floor = dev_.preFloor(a, now_);
             } else {
                 c.cmd = Command{CmdKind::RefPb, a};
+                c.floor = dev_.refPbFloor(a, now_);
             }
-            c.floor = now_;
             consider(c);
         }
     }
@@ -594,7 +595,7 @@ ConventionalMc::stepOnceIndexed(Tick until)
                 c.age = n.op.arrival;
                 c.rankCat = rep_write ? kRankWriteOp : kRankReadOp;
                 c.rankIdx = n.seq;
-                c.floor = now_;
+                c.floor = dev_.preFloor(a, now_);
                 e.preStamp = stepStamp_;
                 consider(c);
             }
@@ -622,7 +623,7 @@ ConventionalMc::stepOnceIndexed(Tick until)
             c.age = 0;
             c.rankCat = kRankIdlePre;
             c.rankIdx = static_cast<std::uint64_t>(b);
-            c.floor = now_;
+            c.floor = dev_.preFloor(a, now_);
             consider(c);
         }
     }

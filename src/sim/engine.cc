@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "sim/source.h"
 
 namespace rome
 {
@@ -74,6 +75,22 @@ ControllerStats::deriveBandwidths()
 }
 
 // ---------------------------------------------------------------------------
+// IMemoryController
+// ---------------------------------------------------------------------------
+
+void
+IMemoryController::bindSource(RequestSource* src)
+{
+    // Fallback for controllers without native streaming (e.g. composite
+    // routers): eagerly drain the source into the host buffer.
+    if (src == nullptr)
+        return;
+    Request r;
+    while (src->next(r))
+        enqueue(r);
+}
+
+// ---------------------------------------------------------------------------
 // ChannelControllerBase
 // ---------------------------------------------------------------------------
 
@@ -88,10 +105,11 @@ ChannelControllerBase::enqueue(const Request& req)
     inflight_[req.id] = ReqState{req.arrival,
                                  static_cast<int>(last - first + 1)};
     host_.push_back(req);
+    hostPeak_ = std::max(hostPeak_, host_.size());
     // Keep the completion log's capacity ahead of everything enqueued so
     // recording a completion never allocates inside the scheduling loop.
     ++totalRequests_;
-    if (completions_.capacity() < totalRequests_) {
+    if (retainCompletions_ && completions_.capacity() < totalRequests_) {
         completions_.reserve(
             std::max<std::size_t>({completions_.capacity() * 2,
                                    static_cast<std::size_t>(totalRequests_),
@@ -100,11 +118,45 @@ ChannelControllerBase::enqueue(const Request& req)
 }
 
 void
+ChannelControllerBase::bindSource(RequestSource* src)
+{
+    source_ = src;
+    // Prime the host window so host_.front() is the stream head before
+    // the first scheduling step (idle() and drain() consult it).
+    sourceDone_ = src == nullptr;
+    if (src != nullptr)
+        refillFromSource();
+}
+
+void
+ChannelControllerBase::setSourceWindow(std::size_t window)
+{
+    if (window == 0)
+        fatal("source window must hold at least one request");
+    sourceWindow_ = window;
+    if (source_ != nullptr)
+        refillFromSource();
+}
+
+void
+ChannelControllerBase::refillFromSource()
+{
+    Request r;
+    while (host_.size() < sourceWindow_ && source_->next(r))
+        enqueue(r);
+    sourceDone_ = source_->exhausted();
+}
+
+void
 ChannelControllerBase::pumpArrivals()
 {
+    if (source_ != nullptr)
+        refillFromSource();
     while (!host_.empty() && host_.front().arrival <= now_) {
         if (!admitOps())
             break;
+        if (source_ != nullptr)
+            refillFromSource();
     }
 }
 
@@ -116,7 +168,9 @@ ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
         panic("completion for unknown request %llu",
               static_cast<unsigned long long>(req_id));
     if (--it->second.opsRemaining == 0) {
-        completions_.push_back(Completion{req_id, data_end});
+        ++completedCount_;
+        if (retainCompletions_)
+            completions_.push_back(Completion{req_id, data_end});
         latencyNs_.sample(nsFromTicks(data_end - it->second.arrival));
         inflight_.erase(it);
     }
@@ -147,8 +201,10 @@ bool
 ChannelControllerBase::idle() const
 {
     // Every queued or outstanding operation belongs to an in-flight
-    // request, so an empty in-flight map implies empty op queues.
-    return host_.empty() && inflight_.empty();
+    // request, so an empty in-flight map implies empty op queues. A
+    // bound source with requests left means pending work even when the
+    // host window drained.
+    return host_.empty() && inflight_.empty() && sourceDone_;
 }
 
 void
@@ -156,7 +212,7 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
 {
     s.bytesRead = bytesRead_;
     s.bytesWritten = bytesWritten_;
-    s.completedRequests = completions_.size();
+    s.completedRequests = completedCount_;
     s.latencyMeanNs = latencyNs_.mean();
     s.latencyMaxNs = latencyNs_.max();
     const auto& c = device().counters();
@@ -210,6 +266,10 @@ parallelFor(int n, int threads, const std::function<void(int)>& fn)
 // ChannelSimEngine
 // ---------------------------------------------------------------------------
 
+ChannelSimEngine::ChannelSimEngine(int threads) : threads_(threads) {}
+
+ChannelSimEngine::~ChannelSimEngine() = default;
+
 int
 ChannelSimEngine::addChannel(std::unique_ptr<IMemoryController> mc)
 {
@@ -231,6 +291,16 @@ ChannelSimEngine::enqueue(int idx, const std::vector<Request>& reqs)
     auto& mc = *channels_.at(static_cast<std::size_t>(idx));
     for (const auto& r : reqs)
         mc.enqueue(r);
+}
+
+void
+ChannelSimEngine::bindSource(int idx, std::unique_ptr<RequestSource> src)
+{
+    auto& mc = *channels_.at(static_cast<std::size_t>(idx));
+    if (sources_.size() < channels_.size())
+        sources_.resize(channels_.size());
+    mc.bindSource(src.get());
+    sources_[static_cast<std::size_t>(idx)] = std::move(src);
 }
 
 Tick
@@ -280,12 +350,28 @@ ChannelSimEngine::totals() const
 // ---------------------------------------------------------------------------
 
 ControllerStats
+runWorkload(IMemoryController& mc, RequestSource& source)
+{
+    mc.bindSource(&source);
+    mc.drain();
+    mc.bindSource(nullptr);
+    return mc.stats();
+}
+
+ControllerStats
 runWorkload(IMemoryController& mc, const std::vector<Request>& reqs)
 {
-    for (const auto& r : reqs)
-        mc.enqueue(r);
-    mc.drain();
-    return mc.stats();
+    // Non-owning view: replaying a borrowed list must not copy it.
+    ReplaySource src(SharedRequests(std::shared_ptr<void>(), &reqs));
+    return runWorkload(mc, src);
+}
+
+SourceFactory
+replayFactory(SharedRequests reqs)
+{
+    if (!reqs)
+        fatal("null request list behind a replay factory");
+    return [reqs] { return std::make_unique<ReplaySource>(reqs); };
 }
 
 std::vector<SweepOutcome>
@@ -297,7 +383,10 @@ runSweep(std::vector<SweepJob> jobs, int threads)
         auto& res = out[static_cast<std::size_t>(i)];
         res.label = job.label;
         res.mc = job.make();
-        res.stats = runWorkload(*res.mc, *job.requests);
+        const auto source = job.source();
+        if (!source)
+            fatal("sweep job \"%s\" produced no source", job.label.c_str());
+        res.stats = runWorkload(*res.mc, *source);
     });
     return out;
 }

@@ -24,7 +24,13 @@
  *    optionally on a std::thread pool, since per-channel simulations are
  *    embarrassingly parallel.
  *  - runSweep: multi-config design-space sweeps (one controller + one
- *    workload per job) on the same thread pool.
+ *    workload source per job) on the same thread pool.
+ *
+ * Workloads reach controllers through the pull-based RequestSource API
+ * (sim/source.h): a controller bound to a source refills a bounded host
+ * window from it inside pumpArrivals, so workload memory is O(queue
+ * depth) regardless of request count. The eager enqueue(vector) path
+ * remains as the ReplaySource special case and is bit-compatible.
  */
 
 #ifndef ROME_SIM_ENGINE_H
@@ -47,6 +53,8 @@
 
 namespace rome
 {
+
+class RequestSource; // sim/source.h
 
 /**
  * Uniform statistics snapshot of one controller run. Field-for-field
@@ -114,6 +122,20 @@ class IMemoryController
 
     /** Queue a host request (unbounded host-side buffer; FIFO admission). */
     virtual void enqueue(const Request& req) = 0;
+
+    /**
+     * Attach a pull-based workload source (nullptr detaches). The
+     * controller draws requests from it as simulated time reaches their
+     * arrival ticks; runUntil/drain then consume the source instead of a
+     * pre-enqueued list. The source must outlive the binding and yield
+     * requests in nondecreasing arrival order.
+     *
+     * The default implementation eagerly drains the source into
+     * enqueue() — functionally equivalent, O(workload) memory.
+     * ChannelControllerBase overrides it with true bounded-window
+     * streaming.
+     */
+    virtual void bindSource(RequestSource* src);
 
     /** Advance simulation until @p until or until fully idle. */
     virtual void runUntil(Tick until) = 0;
@@ -243,6 +265,7 @@ class ChannelControllerBase : public IMemoryController
 {
   public:
     void enqueue(const Request& req) final;
+    void bindSource(RequestSource* src) final;
     void runUntil(Tick until) final;
     Tick drain() final;
     bool idle() const override;
@@ -262,6 +285,25 @@ class ChannelControllerBase : public IMemoryController
 
     /** Scheduling steps executed so far (hot-loop throughput metric). */
     std::uint64_t stepsExecuted() const { return steps_; }
+
+    /**
+     * How many bound-source requests the host buffer prefetches. Only
+     * host_.front() drives scheduling decisions, so the window size never
+     * changes results — it only bounds memory. Must be >= 1.
+     */
+    void setSourceWindow(std::size_t window);
+
+    std::size_t sourceWindow() const { return sourceWindow_; }
+
+    /** High-water mark of the host buffer (bounded-memory evidence). */
+    std::size_t hostBufferPeak() const { return hostPeak_; }
+
+    /**
+     * Disable the per-request completion log (completions() stays
+     * empty; completedRequests / latency stats are unaffected). Required
+     * for O(1)-memory streaming of arbitrarily long workloads.
+     */
+    void setRetainCompletions(bool retain) { retainCompletions_ = retain; }
 
   protected:
     /** Host-request progress tracking. */
@@ -287,7 +329,13 @@ class ChannelControllerBase : public IMemoryController
     /** Operation granularity requests decompose into (column / eff. row). */
     virtual std::uint64_t admissionChunkBytes() const = 0;
 
-    /** Admit from the host buffer while requests have arrived. */
+    /**
+     * Admit from the host buffer while requests have arrived. With a
+     * bound source, first tops the host buffer up to the source window,
+     * preserving the invariant that host_.front() is the stream head
+     * whenever work remains — the schedulers' next-arrival event logic
+     * is oblivious to where requests come from.
+     */
     void pumpArrivals();
 
     /**
@@ -311,6 +359,18 @@ class ChannelControllerBase : public IMemoryController
     std::uint64_t steps_ = 0;
     /** Requests ever enqueued; completions_ capacity is kept ahead of it. */
     std::uint64_t totalRequests_ = 0;
+
+  private:
+    /** Pull from source_ until the host window is full or it runs dry. */
+    void refillFromSource();
+
+    RequestSource* source_ = nullptr;
+    /** Cached source_->exhausted(); lets idle() stay const and cheap. */
+    bool sourceDone_ = true;
+    std::size_t sourceWindow_ = 8;
+    std::size_t hostPeak_ = 0;
+    std::uint64_t completedCount_ = 0;
+    bool retainCompletions_ = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -341,7 +401,10 @@ class ChannelSimEngine
 {
   public:
     /** @param threads Worker threads for multi-channel operations. */
-    explicit ChannelSimEngine(int threads = 1) : threads_(threads) {}
+    explicit ChannelSimEngine(int threads = 1);
+
+    /** Out of line: RequestSource is incomplete here. */
+    ~ChannelSimEngine();
 
     /** Take ownership of @p mc; returns its channel index. */
     int addChannel(std::unique_ptr<IMemoryController> mc);
@@ -361,6 +424,13 @@ class ChannelSimEngine
     /** Queue a whole per-channel request list on channel @p idx. */
     void enqueue(int idx, const std::vector<Request>& reqs);
 
+    /**
+     * Bind a pull source to channel @p idx (the engine keeps it alive);
+     * drainAll / runAllUntil then stream it. Typically a ShardSource of
+     * one system-wide stream per channel.
+     */
+    void bindSource(int idx, std::unique_ptr<RequestSource> src);
+
     /** Drain every channel; returns the latest finish tick. */
     Tick drainAll();
 
@@ -378,13 +448,27 @@ class ChannelSimEngine
   private:
     int threads_;
     std::vector<std::unique_ptr<IMemoryController>> channels_;
+    /** Sources bound via bindSource, indexed like channels_. */
+    std::vector<std::unique_ptr<RequestSource>> sources_;
 };
 
 // ---------------------------------------------------------------------------
 // Workload drivers and design-space sweeps
 // ---------------------------------------------------------------------------
 
-/** Enqueue @p reqs and drain @p mc; returns the final stats snapshot. */
+/**
+ * Stream @p source through @p mc until both are drained; returns the
+ * final stats snapshot. This is the streaming workload driver: with a
+ * ChannelControllerBase-derived controller, host-side memory stays
+ * O(queue depth) for any workload length.
+ */
+ControllerStats runWorkload(IMemoryController& mc, RequestSource& source);
+
+/**
+ * Replay @p reqs through @p mc and drain; returns the final stats
+ * snapshot. Streams via a ReplaySource view — bit-compatible with the
+ * historical enqueue-everything-then-drain loop.
+ */
 ControllerStats runWorkload(IMemoryController& mc,
                             const std::vector<Request>& reqs);
 
@@ -398,13 +482,31 @@ shareRequests(std::vector<Request> reqs)
     return std::make_shared<const std::vector<Request>>(std::move(reqs));
 }
 
+/**
+ * Factory producing a fresh workload source (one per sweep job). Jobs
+ * regenerate their stream per run, so sweeps never materialize request
+ * lists unless a ReplaySource is asked for explicitly.
+ */
+using SourceFactory = std::function<std::unique_ptr<RequestSource>()>;
+
+/** Source factory replaying a shared in-memory request list. */
+SourceFactory replayFactory(SharedRequests reqs);
+
 /** One design point of a sweep: a fresh controller and its workload. */
 struct SweepJob
 {
     SweepJob(std::string label_, ControllerFactory make_,
-             SharedRequests requests_)
+             SourceFactory source_)
         : label(std::move(label_)), make(std::move(make_)),
-          requests(std::move(requests_))
+          source(std::move(source_))
+    {
+    }
+
+    /** Replay convenience: share one request list across jobs. */
+    SweepJob(std::string label_, ControllerFactory make_,
+             SharedRequests requests_)
+        : SweepJob(std::move(label_), std::move(make_),
+                   replayFactory(std::move(requests_)))
     {
     }
 
@@ -418,7 +520,7 @@ struct SweepJob
 
     std::string label;
     ControllerFactory make;
-    SharedRequests requests;
+    SourceFactory source;
 };
 
 /** Outcome of one sweep job; @c mc is kept alive for deep inspection. */

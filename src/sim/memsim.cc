@@ -4,6 +4,7 @@
 
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
+#include "sim/source.h"
 
 namespace rome
 {
@@ -53,9 +54,9 @@ calibrateChannel(MemorySystem sys, const ChannelWorkloadProfile& profile)
         uniform_rows
             ? static_cast<const RomeMc&>(*mc).vbaMap().effectiveRowBytes()
             : 4096;
-    const auto reqs = profileRequests(profile, uniform_rows, row_bytes,
-                                      dram.org.channelCapacity());
-    const ControllerStats s = runWorkload(*mc, reqs);
+    ProfileSource source(profile, uniform_rows, row_bytes,
+                         dram.org.channelCapacity());
+    const ControllerStats s = runWorkload(*mc, source);
     return calibrationFromStats(s, peak);
 }
 

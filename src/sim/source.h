@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Pull-based workload sources.
+ *
+ * A RequestSource is the streaming frontend of the simulation: instead of
+ * materializing a whole std::vector<Request> with arrival times baked in,
+ * the engine *pulls* timestamped requests lazily — one host-buffer window
+ * at a time — so a workload's footprint is O(queue depth), not O(request
+ * count). That is what makes trace replay of multi-million-request
+ * accelerator traces and open-loop arrival processes affordable.
+ *
+ * Contract:
+ *  - next(out)      — pop the next request; false when the stream ends.
+ *  - nextArrival()  — arrival tick of the next request without consuming
+ *                     it (kTickMax when exhausted). Feeds the schedulers'
+ *                     event calendars.
+ *  - reset()        — rewind to the first request; a source must replay
+ *                     the identical sequence after reset() (determinism is
+ *                     asserted by tests/test_source.cc).
+ *  - Requests must be yielded in nondecreasing arrival order (the
+ *    controllers admit FIFO; MixSource merges by arrival to maintain
+ *    this across tenants).
+ *
+ * Concrete sources:
+ *  - ReplaySource    — adapter over an in-memory request list (the old
+ *                      eager path, bit-compatible).
+ *  - StreamSource / RandomSource / SparseMixSource / ProfileSource —
+ *                      streaming ports of the sim/workloads.h generators;
+ *                      the vector builders are now thin collectors over
+ *                      these, so both paths yield identical requests.
+ *  - TraceSource     — replays a recorded request trace file (sim/trace.h).
+ *  - ArrivalProcess  — open-loop arrival shaping (fixed-rate, Poisson,
+ *                      bursty) over any inner source.
+ *  - MixSource       — arrival-ordered merge of several tenants' sources.
+ *  - ShardSource     — per-channel shard of a system-wide source.
+ */
+
+#ifndef ROME_SIM_SOURCE_H
+#define ROME_SIM_SOURCE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "mc/request.h"
+#include "sim/engine.h"
+#include "sim/workloads.h"
+
+namespace rome
+{
+
+/**
+ * Abstract pull-based request stream. The public interface is
+ * non-virtual: a one-request lookahead implemented here gives every
+ * source a free nextArrival() peek, so subclasses only implement
+ * produce() (emit the next request) and rewind() (restart the stream).
+ */
+class RequestSource
+{
+  public:
+    virtual ~RequestSource() = default;
+
+    /** Pop the next request into @p out; false when the stream ended. */
+    bool
+    next(Request& out)
+    {
+        if (!havePeek_ && !fill())
+            return false;
+        out = peek_;
+        havePeek_ = false;
+        return true;
+    }
+
+    /** Arrival tick of the next request, kTickMax when exhausted. */
+    Tick
+    nextArrival()
+    {
+        if (!havePeek_ && !fill())
+            return kTickMax;
+        return peek_.arrival;
+    }
+
+    /** True when no request remains. */
+    bool exhausted() { return !havePeek_ && !fill(); }
+
+    /** Rewind to the first request (identical replay guaranteed). */
+    void
+    reset()
+    {
+        havePeek_ = false;
+        ended_ = false;
+        rewind();
+    }
+
+  protected:
+    /** Emit the next request; false when the stream is over. */
+    virtual bool produce(Request& out) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void rewind() = 0;
+
+  private:
+    bool
+    fill()
+    {
+        if (ended_ || !produce(peek_)) {
+            ended_ = true;
+            return false;
+        }
+        havePeek_ = true;
+        return true;
+    }
+
+    Request peek_{};
+    bool havePeek_ = false;
+    bool ended_ = false;
+};
+
+/** Drain @p src into a vector (intended for tests and small workloads). */
+std::vector<Request> collectRequests(RequestSource& src);
+
+// ---------------------------------------------------------------------------
+// Replay and generator sources
+// ---------------------------------------------------------------------------
+
+/** Replays an in-memory request list (the classic eager workload). */
+class ReplaySource final : public RequestSource
+{
+  public:
+    explicit ReplaySource(SharedRequests reqs) : reqs_(std::move(reqs)) {}
+    explicit ReplaySource(std::vector<Request> reqs)
+        : ReplaySource(shareRequests(std::move(reqs)))
+    {
+    }
+
+  protected:
+    bool
+    produce(Request& out) override
+    {
+        if (pos_ >= reqs_->size())
+            return false;
+        out = (*reqs_)[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+  private:
+    SharedRequests reqs_;
+    std::size_t pos_ = 0;
+};
+
+/** Streaming generator of StreamPattern (see sim/workloads.h). */
+class StreamSource final : public RequestSource
+{
+  public:
+    explicit StreamSource(const StreamPattern& p);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    StreamPattern p_;
+    Rng rng_;
+    std::uint64_t id_ = 1;
+    std::uint64_t index_ = 0;
+    std::uint64_t offset_ = 0;
+};
+
+/** Streaming generator of RandomPattern. */
+class RandomSource final : public RequestSource
+{
+  public:
+    explicit RandomSource(const RandomPattern& p);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    RandomPattern p_;
+    Rng rng_;
+    std::uint64_t id_ = 1;
+    std::uint64_t emitted_ = 0;
+};
+
+/** Streaming generator of SparseMixPattern. */
+class SparseMixSource final : public RequestSource
+{
+  public:
+    explicit SparseMixSource(const SparseMixPattern& p);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    SparseMixPattern p_;
+    Rng rng_;
+    std::uint64_t id_ = 1;
+    std::uint64_t emitted_ = 0;
+};
+
+/** Streaming generator of the LLM decode channel-traffic profile. */
+class ProfileSource final : public RequestSource
+{
+  public:
+    ProfileSource(const ChannelWorkloadProfile& profile, bool uniform_rows,
+                  std::uint64_t row_bytes, std::uint64_t capacity);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    /** One sequential stream with a finite region, rebasing on wrap. */
+    struct Stream
+    {
+        std::uint64_t base = 0;
+        std::uint64_t offset = 0;
+        std::uint64_t region = 0;
+    };
+
+    void start();
+    void rebase(Stream& s, std::uint64_t align);
+
+    ChannelWorkloadProfile p_;
+    std::uint64_t rowBytes_;
+    std::uint64_t capacity_;
+    std::uint64_t largeReq_;
+    std::uint64_t smallReq_;
+    Rng rng_;
+    std::vector<Stream> large_;
+    std::vector<Stream> small_;
+    std::uint64_t id_ = 1;
+    std::uint64_t emitted_ = 0;
+    std::size_t lturn_ = 0;
+    std::size_t sturn_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/** Open-loop inter-arrival models (§VII serving traffic shapes). */
+enum class ArrivalModel
+{
+    /** One request every meanGap ticks. */
+    Fixed,
+    /** Poisson process: exponential gaps with mean meanGap. */
+    Poisson,
+    /**
+     * Poisson-arriving bursts of burstLen simultaneous requests; burst
+     * gaps have mean burstLen * meanGap, so the long-run request rate
+     * matches Fixed/Poisson at the same meanGap.
+     */
+    Bursty,
+};
+
+/** Configuration of an ArrivalProcess. */
+struct ArrivalSpec
+{
+    ArrivalModel model = ArrivalModel::Fixed;
+    /** Mean inter-request gap in ticks (must be >= 0). */
+    Tick meanGap = ticksFromNs(static_cast<std::int64_t>(100));
+    /** Arrival tick of the first request (or first burst). */
+    Tick start = 0;
+    /** Requests per burst (Bursty only, >= 1). */
+    int burstLen = 8;
+    /** Seed of the exponential draws (Poisson / Bursty). */
+    std::uint64_t seed = 9;
+};
+
+/**
+ * Re-times an inner source with an open-loop arrival process: request
+ * payloads (id, kind, addr, size) pass through unchanged, arrival ticks
+ * are replaced by the configured process. This turns any closed-loop
+ * generator (all arrivals at 0) into serving-style offered load.
+ */
+class ArrivalProcess final : public RequestSource
+{
+  public:
+    ArrivalProcess(std::unique_ptr<RequestSource> inner, ArrivalSpec spec);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    void restart();
+    Tick expGap(Tick mean);
+
+    std::unique_ptr<RequestSource> inner_;
+    ArrivalSpec spec_;
+    Rng rng_;
+    Tick clock_ = 0;
+    int inBurst_ = 0;
+};
+
+/**
+ * Multi-tenant mix: merges several sources by arrival time (ties resolved
+ * by part index). Ids are reassigned sequentially so tenants with
+ * overlapping id spaces can share one controller.
+ */
+class MixSource final : public RequestSource
+{
+  public:
+    explicit MixSource(std::vector<std::unique_ptr<RequestSource>> parts,
+                       bool reassign_ids = true);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    std::vector<std::unique_ptr<RequestSource>> parts_;
+    bool reassignIds_;
+    std::uint64_t nextId_ = 1;
+};
+
+/**
+ * One channel's shard of a system-wide stream: yields only the requests
+ * assigned to @p shard of @p num_shards. With stripe_bytes == 0 requests
+ * are dealt round-robin by index; otherwise the request's address stripe
+ * (addr / stripe_bytes) selects the shard, modeling system-level
+ * channel interleaving.
+ */
+class ShardSource final : public RequestSource
+{
+  public:
+    ShardSource(std::unique_ptr<RequestSource> inner, int shard,
+                int num_shards, std::uint64_t stripe_bytes = 0);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    std::unique_ptr<RequestSource> inner_;
+    int shard_;
+    int shards_;
+    std::uint64_t stripeBytes_;
+    std::uint64_t index_ = 0;
+};
+
+} // namespace rome
+
+#endif // ROME_SIM_SOURCE_H

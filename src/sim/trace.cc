@@ -1,0 +1,211 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace rome
+{
+
+namespace
+{
+
+constexpr char kTextHeader[] = "# rome-trace v1";
+constexpr char kBinaryMagic[8] = {'R', 'O', 'M', 'E', 'T', 'R', 'B', '1'};
+constexpr std::size_t kBinaryRecordBytes = 8 + 8 + 8 + 8 + 1;
+
+void
+putU64le(char* p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t
+getU64le(const char* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(const std::string& path, TraceFormat format)
+    : out_(path, format == TraceFormat::Binary
+               ? std::ios::binary | std::ios::trunc
+               : std::ios::trunc),
+      format_(format)
+{
+    if (!out_)
+        return;
+    if (format_ == TraceFormat::Binary) {
+        out_.write(kBinaryMagic, sizeof(kBinaryMagic));
+    } else {
+        out_ << kTextHeader << '\n'
+             << "# id kind(R|W) addr size arrival_ticks\n";
+    }
+}
+
+void
+TraceRecorder::record(const Request& r)
+{
+    if (format_ == TraceFormat::Binary) {
+        char buf[kBinaryRecordBytes];
+        putU64le(buf + 0, r.id);
+        putU64le(buf + 8, r.addr);
+        putU64le(buf + 16, r.size);
+        putU64le(buf + 24, static_cast<std::uint64_t>(r.arrival));
+        buf[32] = r.kind == ReqKind::Write ? 1 : 0;
+        out_.write(buf, sizeof(buf));
+    } else {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%llu %c %llu %llu %lld\n",
+                      static_cast<unsigned long long>(r.id),
+                      r.kind == ReqKind::Write ? 'W' : 'R',
+                      static_cast<unsigned long long>(r.addr),
+                      static_cast<unsigned long long>(r.size),
+                      static_cast<long long>(r.arrival));
+        out_ << buf;
+    }
+    ++count_;
+}
+
+void
+TraceRecorder::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+std::uint64_t
+recordTrace(RequestSource& src, const std::string& path, TraceFormat format)
+{
+    TraceRecorder rec(path, format);
+    if (!rec.ok())
+        fatal("cannot open trace file for writing: %s", path.c_str());
+    Request r;
+    while (src.next(r))
+        rec.record(r);
+    rec.close();
+    if (!rec.ok())
+        fatal("write failed on trace file: %s", path.c_str());
+    return rec.recorded();
+}
+
+// ---------------------------------------------------------------------------
+// TraceSource
+// ---------------------------------------------------------------------------
+
+TraceSource::TraceSource(const std::string& path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        fatal("cannot open trace file: %s", path.c_str());
+    char magic[sizeof(kBinaryMagic)] = {};
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() == sizeof(magic) &&
+        std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
+        format_ = TraceFormat::Binary;
+        dataStart_ = in_.tellg();
+        return;
+    }
+    // Text: require the v1 header line, then stream line by line.
+    format_ = TraceFormat::Text;
+    in_.clear();
+    in_.seekg(0);
+    std::string header;
+    if (!std::getline(in_, header) ||
+        header.rfind(kTextHeader, 0) != 0) {
+        fatal("trace %s is neither %s text nor ROMETRB1 binary",
+              path.c_str(), kTextHeader);
+    }
+    dataStart_ = in_.tellg();
+    line_ = 1;
+}
+
+bool
+TraceSource::produceText(Request& out)
+{
+    std::string ln;
+    while (std::getline(in_, ln)) {
+        ++line_;
+        std::size_t i = 0;
+        while (i < ln.size() && (ln[i] == ' ' || ln[i] == '\t'))
+            ++i;
+        if (i == ln.size() || ln[i] == '#')
+            continue; // blank or comment
+        unsigned long long id = 0, addr = 0, size = 0;
+        long long arrival = 0;
+        char kind = 0;
+        if (std::sscanf(ln.c_str(), "%llu %c %llu %llu %lld", &id, &kind,
+                        &addr, &size, &arrival) != 5 ||
+            (kind != 'R' && kind != 'W') || size == 0) {
+            fatal("%s:%llu: malformed trace record \"%s\"", path_.c_str(),
+                  static_cast<unsigned long long>(line_), ln.c_str());
+        }
+        out = Request{id, kind == 'W' ? ReqKind::Write : ReqKind::Read,
+                      addr, size, static_cast<Tick>(arrival)};
+        return true;
+    }
+    return false;
+}
+
+bool
+TraceSource::produceBinary(Request& out)
+{
+    char buf[kBinaryRecordBytes];
+    in_.read(buf, sizeof(buf));
+    if (in_.gcount() == 0)
+        return false;
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(buf)))
+        fatal("truncated binary trace record in %s", path_.c_str());
+    out.id = getU64le(buf + 0);
+    out.addr = getU64le(buf + 8);
+    out.size = getU64le(buf + 16);
+    out.arrival = static_cast<Tick>(getU64le(buf + 24));
+    out.kind = buf[32] ? ReqKind::Write : ReqKind::Read;
+    if (out.size == 0)
+        fatal("zero-size record in binary trace %s", path_.c_str());
+    return true;
+}
+
+bool
+TraceSource::produce(Request& out)
+{
+    const bool got = format_ == TraceFormat::Binary ? produceBinary(out)
+                                                    : produceText(out);
+    if (got) {
+        // Sources must yield nondecreasing arrivals (the controllers'
+        // admission and event calendars rely on it); reject corrupted or
+        // unsorted traces instead of silently mis-simulating them.
+        if (out.arrival < lastArrival_) {
+            fatal("trace %s: arrival of request %llu decreases (%lld "
+                  "after %lld)",
+                  path_.c_str(), static_cast<unsigned long long>(out.id),
+                  static_cast<long long>(out.arrival),
+                  static_cast<long long>(lastArrival_));
+        }
+        lastArrival_ = out.arrival;
+    }
+    return got;
+}
+
+void
+TraceSource::rewind()
+{
+    in_.clear();
+    in_.seekg(dataStart_);
+    line_ = format_ == TraceFormat::Text ? 1 : 0;
+    lastArrival_ = 0;
+}
+
+} // namespace rome

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Request-trace recording and replay.
+ *
+ * A trace file is a flat, replayable record of one channel's host-request
+ * stream — recorded from any RequestSource (synthetic generators, arrival
+ * processes, or a real accelerator's DMA log converted offline) and
+ * replayed through TraceSource with O(1) host memory regardless of
+ * length.
+ *
+ * # Format v1
+ *
+ * Both encodings carry the same five fields per request:
+ *
+ *   id       u64   request id (unique within the trace; uniqueness is a
+ *                  requirement, not validated — checking it would cost
+ *                  O(trace) memory)
+ *   kind     R|W   read or write
+ *   addr     u64   channel-local byte address
+ *   size     u64   bytes (> 0)
+ *   arrival  i64   arrival tick (0.25 ns units, nondecreasing — enforced
+ *                  on replay)
+ *
+ * Text ("rome-trace v1"): line-oriented; the first line must be the
+ * header comment `# rome-trace v1`; further lines starting with '#' are
+ * comments; every other line is `id kind addr size arrival` separated by
+ * whitespace, e.g.
+ *
+ *   # rome-trace v1
+ *   1 R 0 4096 0
+ *   2 W 4096 4096 512
+ *
+ * Binary ("ROMETRB1" magic): the 8-byte magic followed by packed 33-byte
+ * little-endian records `id:u64 addr:u64 size:u64 arrival:i64 kind:u8`
+ * (kind 0 = read, 1 = write). No record count is stored — readers stream
+ * until EOF, so a recorder can run without knowing the length upfront.
+ *
+ * TraceSource sniffs the magic, so replay call sites never name the
+ * encoding. Bumping the format is a new version tag ("v2" /
+ * "ROMETRB2") with readers keeping v1 support.
+ */
+
+#ifndef ROME_SIM_TRACE_H
+#define ROME_SIM_TRACE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "mc/request.h"
+#include "sim/source.h"
+
+namespace rome
+{
+
+/** Trace file encodings (see the format doc above). */
+enum class TraceFormat
+{
+    Text,
+    Binary,
+};
+
+/**
+ * Streams requests into a trace file. Write-through: records are encoded
+ * as they arrive, so recording is O(1) memory for any trace length.
+ */
+class TraceRecorder
+{
+  public:
+    TraceRecorder(const std::string& path, TraceFormat format);
+    ~TraceRecorder() { close(); }
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    /** False when the file could not be opened or a write failed. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Append one request. */
+    void record(const Request& r);
+
+    std::uint64_t recorded() const { return count_; }
+
+    /** Flush and close the file (also done by the destructor). */
+    void close();
+
+  private:
+    std::ofstream out_;
+    TraceFormat format_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Drain @p src into a trace file at @p path; returns the number of
+ * requests recorded. Fatals when the file cannot be written.
+ */
+std::uint64_t recordTrace(RequestSource& src, const std::string& path,
+                          TraceFormat format);
+
+/**
+ * Replays a trace file as a RequestSource. The encoding is detected from
+ * the file's leading bytes; reset() seeks back to the first record, so a
+ * trace can drive any number of sweep jobs. Reading is incremental —
+ * replaying a trace larger than RAM is fine.
+ */
+class TraceSource final : public RequestSource
+{
+  public:
+    explicit TraceSource(const std::string& path);
+
+    const std::string& path() const { return path_; }
+    TraceFormat format() const { return format_; }
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    bool produceText(Request& out);
+    bool produceBinary(Request& out);
+
+    std::string path_;
+    std::ifstream in_;
+    TraceFormat format_ = TraceFormat::Text;
+    /** First byte of record data (after magic / header line). */
+    std::streampos dataStart_ = 0;
+    std::uint64_t line_ = 0; ///< text diagnostics
+    Tick lastArrival_ = 0;   ///< enforces nondecreasing arrivals
+};
+
+} // namespace rome
+
+#endif // ROME_SIM_TRACE_H

@@ -1,137 +1,41 @@
 #include "sim/workloads.h"
 
-#include <algorithm>
-
-#include "common/log.h"
-#include "common/random.h"
+#include "sim/source.h"
 
 namespace rome
 {
 
+// The generation logic lives in the streaming sources (sim/source.h);
+// these eager builders are collectors over them, so the two paths yield
+// identical request sequences by construction.
+
 std::vector<Request>
 streamRequests(const StreamPattern& p)
 {
-    if (p.requestBytes == 0)
-        fatal("stream pattern needs a request size");
-    std::vector<Request> out;
-    out.reserve(static_cast<std::size_t>(p.totalBytes / p.requestBytes) + 1);
-    Rng rng(p.seed);
-    std::uint64_t id = 1;
-    std::uint64_t i = 0;
-    for (std::uint64_t off = 0; off < p.totalBytes;
-         off += p.requestBytes, ++i) {
-        bool write = false;
-        if (p.writeEveryNth > 0) {
-            write = i % static_cast<std::uint64_t>(p.writeEveryNth) ==
-                    static_cast<std::uint64_t>(p.writeEveryNth) - 1;
-        } else if (p.writeFraction > 0.0) {
-            write = rng.uniform() < p.writeFraction;
-        }
-        out.push_back(Request{id++, write ? ReqKind::Write : ReqKind::Read,
-                              p.base + off, p.requestBytes, 0});
-    }
-    return out;
+    StreamSource src(p);
+    return collectRequests(src);
 }
 
 std::vector<Request>
 randomRequests(const RandomPattern& p)
 {
-    if (p.requestBytes == 0 || p.capacity < p.requestBytes)
-        fatal("random pattern needs a request size within capacity");
-    std::vector<Request> out;
-    out.reserve(static_cast<std::size_t>(p.totalBytes / p.requestBytes) + 1);
-    Rng rng(p.seed);
-    std::uint64_t id = 1;
-    for (std::uint64_t emitted = 0; emitted < p.totalBytes;
-         emitted += p.requestBytes) {
-        const std::uint64_t addr =
-            rng.below(p.capacity / p.requestBytes) * p.requestBytes;
-        const bool write =
-            p.writeFraction > 0.0 && rng.uniform() < p.writeFraction;
-        out.push_back(Request{id++, write ? ReqKind::Write : ReqKind::Read,
-                              addr, p.requestBytes, 0});
-    }
-    return out;
+    RandomSource src(p);
+    return collectRequests(src);
 }
 
 std::vector<Request>
 sparseMixRequests(const SparseMixPattern& p)
 {
-    std::vector<Request> out;
-    Rng rng(p.seed);
-    std::uint64_t id = 1;
-    for (std::uint64_t emitted = 0; emitted < p.totalBytes;) {
-        if (rng.uniform() < p.fineFraction) {
-            const std::uint64_t at =
-                rng.below(p.capacity / p.fineBytes) * p.fineBytes;
-            out.push_back(Request{id++, ReqKind::Read, at, p.fineBytes, 0});
-            emitted += p.fineBytes;
-        } else {
-            const std::uint64_t at =
-                rng.below(p.capacity / p.coarseBytes) * p.coarseBytes;
-            out.push_back(Request{id++, ReqKind::Read, at, p.coarseBytes,
-                                  0});
-            emitted += p.coarseBytes;
-        }
-    }
-    return out;
+    SparseMixSource src(p);
+    return collectRequests(src);
 }
-
-namespace
-{
-
-/** One sequential stream with a finite region, rebasing when exhausted. */
-struct Stream
-{
-    std::uint64_t base = 0;
-    std::uint64_t offset = 0;
-    std::uint64_t region = 0;
-};
-
-} // namespace
 
 std::vector<Request>
 profileRequests(const ChannelWorkloadProfile& p, bool uniform_rows,
                 std::uint64_t row_bytes, std::uint64_t capacity)
 {
-    Rng rng(p.seed);
-    const std::uint64_t large_req = uniform_rows ? row_bytes
-                                                 : p.largeRequestBytes;
-    const std::uint64_t small_req = uniform_rows ? row_bytes
-                                                 : p.smallRequestBytes;
-    std::vector<Stream> large(static_cast<std::size_t>(p.largeStreams));
-    std::vector<Stream> small(static_cast<std::size_t>(p.smallStreams));
-    const auto rebase = [&](Stream& s, std::uint64_t align) {
-        s.base = rng.below(capacity - p.streamBytes) / align * align;
-        s.offset = 0;
-        s.region = p.streamBytes;
-    };
-    for (auto& s : large)
-        rebase(s, large_req);
-    for (auto& s : small)
-        rebase(s, small_req);
-
-    std::vector<Request> reqs;
-    std::uint64_t id = 1;
-    std::uint64_t emitted = 0;
-    std::size_t lturn = 0;
-    std::size_t sturn = 0;
-    while (emitted < p.totalBytes) {
-        const bool pick_small = rng.uniform() < p.smallFraction;
-        auto& pool = pick_small ? small : large;
-        const std::uint64_t req = pick_small ? small_req : large_req;
-        auto& turn = pick_small ? sturn : lturn;
-        Stream& s = pool[turn];
-        turn = (turn + 1) % pool.size();
-        if (s.offset + req > s.region)
-            rebase(s, req);
-        const bool write = rng.uniform() < p.writeFraction;
-        reqs.push_back(Request{id++, write ? ReqKind::Write : ReqKind::Read,
-                               s.base + s.offset, req, 0});
-        s.offset += req;
-        emitted += req;
-    }
-    return reqs;
+    ProfileSource src(p, uniform_rows, row_bytes, capacity);
+    return collectRequests(src);
 }
 
 } // namespace rome

@@ -1,11 +1,12 @@
 /**
  * @file
- * Shared synthetic request-stream generators.
+ * Shared synthetic request-stream patterns and their eager builders.
  *
- * Every bench, example, and test used to hand-roll its own enqueue loop;
- * these builders produce the same per-channel request lists once, so a
- * workload can be replayed onto any IMemoryController (and onto several
- * design points of a sweep) identically.
+ * The pattern structs parameterize both the streaming sources
+ * (sim/source.h — the primary, pull-based path) and these eager
+ * vector builders. The builders are collectors over the corresponding
+ * sources, so both paths yield identical request sequences; prefer the
+ * sources for anything long-running.
  */
 
 #ifndef ROME_SIM_WORKLOADS_H

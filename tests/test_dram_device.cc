@@ -198,6 +198,36 @@ TEST_F(DeviceTest, WriteRecoveryBeforePrecharge)
               wr_at + cfg_.timing.tWR);
 }
 
+TEST_F(DeviceTest, PrechargeAndRefreshFloorsNeverExceedExactProbes)
+{
+    // preFloor: a sound, nontrivial lower bound on earliestIssue(PRE)
+    // after ACT (tRAS), read (tRTP), and write (tWR) histories.
+    const auto a = addr(0, 0, 0, 0, 1);
+    dev_.issue({CmdKind::Act, a}, 0);
+    EXPECT_EQ(dev_.preFloor(a, 0), cfg_.timing.tRAS);
+    EXPECT_LE(dev_.preFloor(a, 0), dev_.earliestIssue({CmdKind::Pre, a}, 0));
+
+    const Tick wr_at = cfg_.timing.tRAS;
+    dev_.issue({CmdKind::Wr, a}, wr_at);
+    EXPECT_EQ(dev_.preFloor(a, 0), wr_at + cfg_.timing.tWR);
+    EXPECT_LE(dev_.preFloor(a, 0), dev_.earliestIssue({CmdKind::Pre, a}, 0));
+
+    // refPbFloor: bounded by the precharge completion, then by tRREFD
+    // spacing after a refresh elsewhere in the (PC, SID).
+    const Tick pre_at = dev_.earliestIssue({CmdKind::Pre, a}, 0);
+    dev_.issue({CmdKind::Pre, a}, pre_at);
+    EXPECT_EQ(dev_.refPbFloor(a, pre_at), pre_at + cfg_.timing.tRP);
+    EXPECT_LE(dev_.refPbFloor(a, pre_at),
+              dev_.earliestIssue({CmdKind::RefPb, a}, pre_at));
+
+    const auto other = addr(0, 0, 1, 0);
+    const Tick ref_at = dev_.earliestIssue({CmdKind::RefPb, other}, pre_at);
+    dev_.issue({CmdKind::RefPb, other}, ref_at);
+    EXPECT_GE(dev_.refPbFloor(a, ref_at), ref_at + cfg_.timing.tRREFD);
+    EXPECT_LE(dev_.refPbFloor(a, ref_at),
+              dev_.earliestIssue({CmdKind::RefPb, a}, ref_at));
+}
+
 TEST_F(DeviceTest, ReadToWriteTurnaround)
 {
     const auto a = addr(0, 0, 0, 0, 1);
