@@ -212,9 +212,10 @@ main(int argc, char** argv)
     json.key("quick").value(quick);
     json.key("rows").beginArray();
 
-    Table t("Scheduler hot path: legacy (rescan) vs indexed (per-bank)");
-    t.setHeader({"system", "workload", "qdepth", "banks", "legacy s",
-                 "indexed s", "legacy steps/s", "indexed steps/s",
+    Table t("Scheduler hot path: baseline vs optimized "
+            "(hbm4: rescan vs indexed; rome: scalar vs template lowering)");
+    t.setHeader({"system", "workload", "qdepth", "banks", "base s",
+                 "fast s", "base steps/s", "fast steps/s",
                  "speedup", "stats"});
 
     const std::vector<std::pair<std::string, DramConfig>> orgs = {
@@ -223,6 +224,7 @@ main(int argc, char** argv)
     };
 
     double best_speedup_deep = 0.0;
+    double best_rome_speedup_deep = 0.0;
     for (const auto& [bank_label, dram] : orgs) {
         if (quick && bank_label == "64")
             continue;
@@ -275,41 +277,69 @@ main(int argc, char** argv)
             }
         }
 
-        // RoMe: deadline-heap slots + per-VBA busy index vs slot rescans.
+        // RoMe: template-based steady-state lowering vs scalar per-command
+        // lowering (both on the indexed scheduler), with the full legacy
+        // path (legacy scheduler + scalar lowering) as the three-way
+        // parity oracle. All three must produce bit-identical stats.
         {
             const auto reqs =
                 buildWorkload("stream", total, dram.org.channelCapacity());
-            RomeMcConfig legacy_cfg;
-            legacy_cfg.legacyScheduler = true;
-            RomeMcConfig indexed_cfg;
-            RomeMc legacy(dram, VbaDesign::adopted(), legacy_cfg);
-            RomeMc indexed(dram, VbaDesign::adopted(), indexed_cfg);
-            const RunResult lr = timedDrain(legacy, reqs);
-            const RunResult ir = timedDrain(indexed, reqs);
-            const bool match = lr.stats == ir.stats;
-            all_match = all_match && match;
-            const double speedup =
-                ir.seconds > 0.0 ? lr.seconds / ir.seconds : 0.0;
-            t.addRow({"rome", "stream", "-", bank_label,
-                      Table::num(lr.seconds, 3), Table::num(ir.seconds, 3),
-                      Table::num(lr.stepsPerSec / 1e6, 2) + "M",
-                      Table::num(ir.stepsPerSec / 1e6, 2) + "M",
-                      Table::num(speedup, 1) + "x",
-                      match ? "ok" : "MISMATCH"});
-            json.beginObject();
-            json.key("system").value("rome");
-            json.key("workload").value("stream");
-            json.key("queueDepth").value(indexed.config().queueDepth);
-            json.key("banks").value(dram.org.banksPerChannel());
-            json.key("requests").value(
-                static_cast<std::uint64_t>(reqs.size()));
-            json.key("legacySeconds").value(lr.seconds);
-            json.key("indexedSeconds").value(ir.seconds);
-            json.key("legacyStepsPerSec").value(lr.stepsPerSec);
-            json.key("indexedStepsPerSec").value(ir.stepsPerSec);
-            json.key("speedup").value(speedup);
-            json.key("statsMatch").value(match);
-            json.endObject();
+            for (const int depth : depths) {
+                if (depth < 64)
+                    continue; // RoMe saturates at tiny depths; bench deep
+                RomeMcConfig legacy_cfg;
+                legacy_cfg.queueDepth = depth;
+                legacy_cfg.legacyScheduler = true;
+                legacy_cfg.scalarLowering = true;
+                RomeMcConfig scalar_cfg;
+                scalar_cfg.queueDepth = depth;
+                scalar_cfg.scalarLowering = true;
+                RomeMcConfig template_cfg;
+                template_cfg.queueDepth = depth;
+
+                RomeMc legacy(dram, VbaDesign::adopted(), legacy_cfg);
+                RomeMc scalar(dram, VbaDesign::adopted(), scalar_cfg);
+                RomeMc tmpl(dram, VbaDesign::adopted(), template_cfg);
+                const RunResult lr = timedDrain(legacy, reqs);
+                const RunResult sr = timedDrain(scalar, reqs);
+                const RunResult tr = timedDrain(tmpl, reqs);
+
+                const bool match =
+                    lr.stats == sr.stats && sr.stats == tr.stats;
+                all_match = all_match && match;
+                const double lowering_speedup =
+                    tr.seconds > 0.0 ? sr.seconds / tr.seconds : 0.0;
+                best_rome_speedup_deep =
+                    std::max(best_rome_speedup_deep, lowering_speedup);
+
+                t.addRow({"rome", "stream", std::to_string(depth),
+                          bank_label, Table::num(sr.seconds, 3),
+                          Table::num(tr.seconds, 3),
+                          Table::num(sr.stepsPerSec / 1e6, 2) + "M",
+                          Table::num(tr.stepsPerSec / 1e6, 2) + "M",
+                          Table::num(lowering_speedup, 1) + "x",
+                          match ? "ok" : "MISMATCH"});
+                json.beginObject();
+                json.key("system").value("rome");
+                json.key("workload").value("stream");
+                json.key("queueDepth").value(depth);
+                json.key("banks").value(dram.org.banksPerChannel());
+                json.key("requests").value(
+                    static_cast<std::uint64_t>(reqs.size()));
+                json.key("legacySeconds").value(lr.seconds);
+                json.key("scalarSeconds").value(sr.seconds);
+                json.key("templateSeconds").value(tr.seconds);
+                json.key("legacyStepsPerSec").value(lr.stepsPerSec);
+                json.key("scalarStepsPerSec").value(sr.stepsPerSec);
+                json.key("templateStepsPerSec").value(tr.stepsPerSec);
+                json.key("speedup").value(lowering_speedup);
+                json.key("templateHits").value(
+                    tmpl.generator().templateHits());
+                json.key("templateFallbacks").value(
+                    tmpl.generator().templateFallbacks());
+                json.key("statsMatch").value(match);
+                json.endObject();
+            }
         }
     }
     json.endArray();
@@ -351,7 +381,47 @@ main(int argc, char** argv)
     json.key("allocsPerStep").value(allocs_per_step);
     json.key("allocFree").value(alloc_free);
     json.endObject();
+
+    // --- RoMe steady-state allocation probe ------------------------------
+    // Same recipe on the RoMe stack: with the plan cache and the template
+    // fast path, steady-state lowering — including the occasional scalar
+    // fallback and refresh templates — must never touch the heap.
+    RomeMcConfig rome_probe_cfg;
+    rome_probe_cfg.queueDepth = 128;
+    RomeMc rome_mc(dram, VbaDesign::adopted(), rome_probe_cfg);
+    for (const auto& r :
+         buildWorkload("stream", 16_MiB, dram.org.channelCapacity()))
+        rome_mc.enqueue(r);
+    // Warm-up runs past the bus calendars's first retire-compact cycle
+    // (~100 us at stream rates), where their capacity high-water settles.
+    rome_mc.runUntil(120_us);
+    const std::uint64_t rome_steps0 = rome_mc.stepsExecuted();
+    const std::uint64_t rome_allocs0 = g_allocs.load();
+    rome_mc.runUntil(280_us); // steady window
+    const std::uint64_t rome_window_steps =
+        rome_mc.stepsExecuted() - rome_steps0;
+    const std::uint64_t rome_window_allocs = g_allocs.load() - rome_allocs0;
+    const double rome_allocs_per_step =
+        rome_window_steps
+            ? static_cast<double>(rome_window_allocs) /
+                  static_cast<double>(rome_window_steps)
+            : 0.0;
+    std::printf("rome steady-state allocation probe: %llu allocs over "
+                "%llu steps (%.6f allocs/step)\n",
+                static_cast<unsigned long long>(rome_window_allocs),
+                static_cast<unsigned long long>(rome_window_steps),
+                rome_allocs_per_step);
+    const bool rome_alloc_free = rome_allocs_per_step <= 0.001;
+
+    json.key("romeAllocProbe").beginObject();
+    json.key("windowSteps").value(rome_window_steps);
+    json.key("windowAllocs").value(rome_window_allocs);
+    json.key("allocsPerStep").value(rome_allocs_per_step);
+    json.key("allocFree").value(rome_alloc_free);
+    json.endObject();
     json.key("bestSpeedupAtDeepQueues").value(best_speedup_deep);
+    json.key("romeLoweringSpeedupAtDeepQueues").value(
+        best_rome_speedup_deep);
     json.endObject();
     const bool wrote = writeTextFile("BENCH_sched.json", json.str());
     std::printf("%s BENCH_sched.json\n",
@@ -360,6 +430,9 @@ main(int argc, char** argv)
                 all_match ? "yes" : "NO — BUG");
     std::printf("best speedup at queue depth >= 64: %.1fx\n",
                 best_speedup_deep);
+    std::printf("rome template-lowering speedup at queue depth >= 64: "
+                "%.1fx (target 3x)\n",
+                best_rome_speedup_deep);
 
-    return all_match && alloc_free && wrote ? 0 : 1;
+    return all_match && alloc_free && rome_alloc_free && wrote ? 0 : 1;
 }

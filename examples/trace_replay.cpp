@@ -4,9 +4,11 @@
  * trace, replay a trace through any controller, and demonstrate that a
  * multi-million-request workload streams in O(queue depth) host memory.
  *
- *   $ ./trace_replay record <out.trace> [text|bin] [MiB]
- *       Record the LLM decode-profile source (shaped by a Poisson
- *       arrival process) into a trace file.
+ *   $ ./trace_replay record <out.trace> [text|bin] [MiB] [decode|prefill]
+ *       Record an LLM phase-profile source (shaped by a Poisson arrival
+ *       process) into a trace file. decode: mixed weight streams + KV
+ *       gathers; prefill: long weight streams + KV-append writes. The
+ *       binary fixtures under tests/data/ were produced by this command.
  *
  *   $ ./trace_replay replay <in.trace> [hbm4|rome|hybrid]
  *       Stream a trace through one channel controller and print stats.
@@ -41,7 +43,8 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: trace_replay record <out.trace> [text|bin] [MiB]\n"
+                 "usage: trace_replay record <out.trace> [text|bin] [MiB] "
+                 "[decode|prefill]\n"
                  "       trace_replay replay <in.trace> [hbm4|rome|hybrid]\n"
                  "       trace_replay stream <requests>\n");
     std::exit(2);
@@ -58,16 +61,35 @@ printStats(const char* what, const ControllerStats& s)
                 s.effectiveBandwidth, s.latencyMeanNs, s.latencyMaxNs);
 }
 
-/** The decode-profile source that `record` snapshots. */
+/**
+ * The phase-profile source that `record` snapshots. The decode phase is
+ * the default channel profile (mixed weight streams and KV/activation
+ * gathers at ~75 % offered load); the prefill phase streams long weight
+ * tensors and appends the prompt's KV cache — few, larger requests with
+ * a substantial write share, offered near peak.
+ */
 std::unique_ptr<RequestSource>
-recordedSource(std::uint64_t total_bytes)
+recordedSource(std::uint64_t total_bytes, const std::string& phase)
 {
     const DramConfig dram = hbm4Config();
     ChannelWorkloadProfile profile;
+    double offered = 0.75;
+    if (phase == "prefill") {
+        profile.largeStreams = 6;
+        profile.largeRequestBytes = 16384;
+        profile.smallStreams = 4;
+        profile.smallRequestBytes = 4096;
+        profile.smallFraction = 0.15;
+        profile.streamBytes = 256 * 1024;
+        profile.writeFraction = 0.35; // KV-cache appends
+        offered = 0.85;
+    } else if (phase != "decode") {
+        usage();
+    }
     profile.totalBytes = total_bytes;
     auto inner = std::make_unique<ProfileSource>(
         profile, false, 4096, dram.org.channelCapacity());
-    // Open-loop Poisson offered load at ~75 % of channel peak.
+    // Open-loop Poisson offered load relative to channel peak.
     ArrivalSpec spec;
     spec.model = ArrivalModel::Poisson;
     const double mean_req_bytes =
@@ -77,7 +99,7 @@ recordedSource(std::uint64_t total_bytes)
             static_cast<double>(profile.largeRequestBytes);
     const double peak = dram.org.channelBandwidthBytesPerNs();
     spec.meanGap =
-        ticksFromNs(mean_req_bytes / (0.75 * peak));
+        ticksFromNs(mean_req_bytes / (offered * peak));
     return std::make_unique<ArrivalProcess>(std::move(inner), spec);
 }
 
@@ -96,11 +118,12 @@ doRecord(int argc, char** argv)
     }
     const std::uint64_t mib =
         argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 4;
-    const auto src = recordedSource(mib << 20);
+    const std::string phase = argc > 5 ? argv[5] : "decode";
+    const auto src = recordedSource(mib << 20, phase);
     const std::uint64_t n = recordTrace(*src, path, fmt);
-    std::printf("recorded %llu requests (%llu MiB of traffic) to %s "
+    std::printf("recorded %llu %s requests (%llu MiB of traffic) to %s "
                 "(%s)\n",
-                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(n), phase.c_str(),
                 static_cast<unsigned long long>(mib), path.c_str(),
                 fmt == TraceFormat::Binary ? "binary" : "text");
     return 0;

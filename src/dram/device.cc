@@ -233,7 +233,12 @@ ChannelDevice::issue(const Command& cmd, Tick when)
                            static_cast<long long>(earliest / kTicksPerNs))
                         .c_str());
     }
+    return commit(cmd, when);
+}
 
+ChannelDevice::IssueResult
+ChannelDevice::commit(const Command& cmd, Tick when)
+{
     BankRecord& b = bank(cmd.addr);
     SidRecord& s = sidRec(cmd.addr.pc, cmd.addr.sid);
     PcRecord& pc = pcs_[static_cast<std::size_t>(cmd.addr.pc)];
@@ -324,6 +329,283 @@ ChannelDevice::issue(const Command& cmd, Tick when)
     if (trace_)
         trace_(when, cmd);
     return res;
+}
+
+namespace
+{
+
+/** Build the concrete address of one template command. */
+DramAddress
+templateAddr(const TemplateCmd& e, const SequenceBinding& bind)
+{
+    DramAddress a;
+    a.pc = e.pc;
+    a.sid = bind.sid;
+    a.bg = bind.banks[static_cast<std::size_t>(e.bankSlot)].first;
+    a.bank = bind.banks[static_cast<std::size_t>(e.bankSlot)].second;
+    a.row = bind.row;
+    a.col = e.col;
+    return a;
+}
+
+} // namespace
+
+Tick
+ChannelDevice::earliestSequence(const CmdTemplate& tpl,
+                                const SequenceBinding& bind, Tick t0) const
+{
+    // Walk the template in issue order, validating only the constraints
+    // that can involve pre-existing state (see the header comment). The
+    // per-PC counters track how many template commands of each class were
+    // already placed: later commands of a class interact only with the
+    // template's own commands, whose spacing holds by construction.
+    constexpr std::size_t kMaxPcs = 4;
+    if (static_cast<std::size_t>(org_.pcsPerChannel) > kMaxPcs)
+        panic("sequence probe supports at most %zu PCs", kMaxPcs);
+    std::array<std::uint8_t, kMaxPcs> n_act{};
+    std::array<std::uint8_t, kMaxPcs> n_ref{};
+
+    for (const std::uint32_t idx : tpl.probeIdx) {
+        const TemplateCmd& e = tpl.cmds[idx];
+        const auto pi = static_cast<std::size_t>(e.pc);
+        const Tick at = t0 + e.offset;
+        const DramAddress a = templateAddr(e, bind);
+        const BankRecord& bk = bank(a);
+        const SidRecord& s = sidRec(a.pc, a.sid);
+        const PcRecord& pc = pcs_[pi];
+
+        switch (e.kind) {
+          case CmdKind::Act: {
+            if (bk.open())
+                return kTickMax;
+            if (bk.lastPre != kTickInvalid && bk.lastPre + t_.tRP > at)
+                return kTickMax;
+            if (bk.lastAct != kTickInvalid && bk.lastAct + t_.tRC > at)
+                return kTickMax;
+            if (bk.refUntil != kTickInvalid && bk.refUntil > at)
+                return kTickMax;
+            if (s.refAbUntil != kTickInvalid && s.refAbUntil > at)
+                return kTickMax;
+            const Tick bg_last =
+                s.lastActPerBg[static_cast<std::size_t>(a.bg)];
+            if (bg_last != kTickInvalid && bg_last + t_.tRRDL > at)
+                return kTickMax;
+            if (n_act[pi] == 0 && s.lastAct != kTickInvalid &&
+                s.lastAct + t_.tRRDS > at) {
+                return kTickMax;
+            }
+            // tFAW mixes pre-existing and template ACTs: with k template
+            // ACTs already placed, the fourth-most-recent ACT before this
+            // one is the k-th oldest pre-existing window entry.
+            const std::size_t k = n_act[pi];
+            if (k < s.actWindow.size()) {
+                const Tick w =
+                    s.actWindow[(s.actWindowHead + k) % s.actWindow.size()];
+                if (w != kTickInvalid && w + t_.tFAW > at)
+                    return kTickMax;
+            }
+            if (pc.rowBus.nextFree(at) != at)
+                return kTickMax;
+            ++n_act[pi];
+            break;
+          }
+
+          case CmdKind::Rd:
+          case CmdKind::Wr: {
+            if (pc.lastCas != kTickInvalid) {
+                Tick gap = t_.tCCDS;
+                if (pc.lastCasSid != a.sid)
+                    gap = t_.tCCDR;
+                else if (pc.lastCasBg == a.bg)
+                    gap = t_.tCCDL;
+                if (pc.lastCas + gap > at)
+                    return kTickMax;
+                const bool is_write = e.kind == CmdKind::Wr;
+                if (!pc.lastCasWasWrite && is_write &&
+                    pc.lastCas + t_.tRTW > at) {
+                    return kTickMax;
+                }
+                if (pc.lastCasWasWrite && !is_write) {
+                    const Tick wtr =
+                        (pc.lastCasBg == a.bg) ? t_.tWTRL : t_.tWTRS;
+                    if (pc.lastCas + wtr > at)
+                        return kTickMax;
+                }
+            }
+            // One range probe covers the whole fixed-cadence CAS stream.
+            if (!pc.colBus.rangeFree(t0 + tpl.casFirstOffset,
+                                     t0 + tpl.casLastOffset + kCmdSlot)) {
+                return kTickMax;
+            }
+            break;
+          }
+
+          case CmdKind::Pre:
+            // tRAS and CAS recovery involve only the template's own ACT
+            // and CAS commands; only the row-bus slot can collide with
+            // other operations' commands.
+            if (pc.rowBus.nextFree(at) != at)
+                return kTickMax;
+            break;
+
+          case CmdKind::RefPb: {
+            if (bk.open())
+                return kTickMax;
+            if (bk.lastPre != kTickInvalid && bk.lastPre + t_.tRP > at)
+                return kTickMax;
+            if (bk.refUntil != kTickInvalid && bk.refUntil > at)
+                return kTickMax;
+            if (s.refAbUntil != kTickInvalid && s.refAbUntil > at)
+                return kTickMax;
+            if (n_ref[pi]++ == 0 && s.lastRefPb != kTickInvalid &&
+                s.lastRefPb + t_.tRREFD > at) {
+                return kTickMax;
+            }
+            if (pc.rowBus.nextFree(at) != at)
+                return kTickMax;
+            break;
+          }
+
+          default:
+            return kTickMax; // no template form for this command kind
+        }
+    }
+    return t0;
+}
+
+void
+ChannelDevice::issueSequence(const CmdTemplate& tpl,
+                             const SequenceBinding& bind, Tick t0)
+{
+#ifndef NDEBUG
+    // Debug builds re-validate and commit per command — the exact scalar
+    // transition sequence, including trace callbacks.
+    for (const TemplateCmd& e : tpl.cmds) {
+        const Tick at = t0 + e.offset;
+        const Command cmd{e.kind, templateAddr(e, bind)};
+        checkAddress(org_, cmd.addr);
+        const Tick earliest = earliestIssue(cmd, at);
+        if (earliest != at) {
+            panic("template %s not issueable at its fixed offset "
+                  "(%lld ns, earliest %lld ns)",
+                  cmd.str().c_str(),
+                  static_cast<long long>(at / kTicksPerNs),
+                  static_cast<long long>(earliest / kTicksPerNs));
+        }
+        commit(cmd, at);
+    }
+    return;
+#else
+    if (trace_) {
+        // A trace consumer observes every command: replay them through
+        // the per-command committer.
+        for (const TemplateCmd& e : tpl.cmds)
+            commit({e.kind, templateAddr(e, bind)}, t0 + e.offset);
+        return;
+    }
+
+    // Bulk path: row commands update their bank/SID records individually
+    // (few per template); the column stream reserves its bus slots per
+    // command but folds its record updates and counters into one
+    // aggregate application — the end state is identical to the
+    // per-command path because later CAS writes simply overwrite earlier
+    // ones and counters commute.
+    std::uint64_t n_act = 0;
+    std::uint64_t n_pre = 0;
+    std::uint64_t n_ref = 0;
+    for (const std::uint32_t idx : tpl.rowIdx) {
+        const TemplateCmd& e = tpl.cmds[idx];
+        const Tick at = t0 + e.offset;
+        PcRecord& pc = pcs_[static_cast<std::size_t>(e.pc)];
+        const DramAddress a = templateAddr(e, bind);
+        BankRecord& b = bank(a);
+        switch (e.kind) {
+          case CmdKind::Act: {
+            SidRecord& s = sidRec(a.pc, a.sid);
+            b.lastAct = at;
+            b.openRow = a.row;
+            s.lastActPerBg[static_cast<std::size_t>(a.bg)] = at;
+            s.lastAct = at;
+            s.actWindow[s.actWindowHead] = at;
+            s.actWindowHead = (s.actWindowHead + 1) % s.actWindow.size();
+            pc.rowBus.reserve(at);
+            ++n_act;
+            break;
+          }
+          case CmdKind::Pre:
+            b.lastPre = at;
+            b.openRow = -1;
+            pc.rowBus.reserve(at);
+            ++n_pre;
+            break;
+          case CmdKind::RefPb: {
+            SidRecord& s = sidRec(a.pc, a.sid);
+            b.refUntil = at + t_.tRFCpb;
+            s.lastRefPb = at;
+            pc.rowBus.reserve(at);
+            ++n_ref;
+            break;
+          }
+          default:
+            panic("template %s has no bulk committer",
+                  std::string(cmdName(e.kind)).c_str());
+        }
+    }
+    counters_.acts.inc(n_act);
+    counters_.pres.inc(n_pre);
+    counters_.refPbs.inc(n_ref);
+    counters_.rowCmds.inc(n_act + n_pre + n_ref);
+
+    if (tpl.casPerPc > 0) {
+        const auto cas_per_pc = static_cast<std::uint64_t>(tpl.casPerPc);
+        const auto n_pcs = static_cast<std::uint64_t>(tpl.pcCount);
+        // The column stream's bus slots march at the fixed cadence; every
+        // PC sees the same offsets.
+        for (int p = 0; p < tpl.pcCount; ++p) {
+            SlotCalendar& bus = pcs_[static_cast<std::size_t>(p)].colBus;
+            Tick at = t0 + tpl.casFirstOffset;
+            for (int i = 0; i < tpl.casPerPc; ++i, at += tpl.casCadence)
+                bus.reserve(at);
+        }
+        const Tick last_cas = t0 + tpl.casLastOffset;
+        const Tick data_until =
+            last_cas + (tpl.casIsWrite ? t_.tWL : t_.tCL) + t_.tBURST;
+        for (int p = 0; p < tpl.pcCount; ++p) {
+            PcRecord& pc = pcs_[static_cast<std::size_t>(p)];
+            pc.lastCas = last_cas;
+            pc.lastCasSid = bind.sid;
+            pc.lastCasBg =
+                bind.banks[static_cast<std::size_t>(tpl.lastCasSlot)].first;
+            pc.lastCasWasWrite = tpl.casIsWrite;
+            if (tpl.casIsWrite)
+                pc.lastWrDataEnd = data_until;
+            pc.busBusyUntil = data_until;
+            for (int slot = 0; slot < bind.numBanks; ++slot) {
+                const Tick off =
+                    tpl.lastCasOffsetPerSlot[static_cast<std::size_t>(slot)];
+                if (off == kTickInvalid)
+                    continue;
+                DramAddress a;
+                a.pc = p;
+                a.sid = bind.sid;
+                a.bg = bind.banks[static_cast<std::size_t>(slot)].first;
+                a.bank = bind.banks[static_cast<std::size_t>(slot)].second;
+                BankRecord& b = bank(a);
+                b.lastCas = t0 + off;
+                b.lastCasWasWrite = tpl.casIsWrite;
+            }
+        }
+        lastDataEnd_ = maxTick(lastDataEnd_, data_until);
+        if (tpl.casIsWrite)
+            counters_.writes.inc(cas_per_pc * n_pcs);
+        else
+            counters_.reads.inc(cas_per_pc * n_pcs);
+        counters_.colCmds.inc(cas_per_pc * n_pcs);
+        counters_.dataBusBusyTicks.inc(
+            cas_per_pc * n_pcs * static_cast<std::uint64_t>(t_.tBURST));
+        counters_.dataBytes.inc(cas_per_pc * n_pcs * org_.columnBytes);
+    }
+#endif
 }
 
 BankState

@@ -22,6 +22,7 @@
 #define ROME_DRAM_DEVICE_H
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -52,6 +53,78 @@ struct DeviceCounters
     /** Commands sent over the row / column C/A pins. */
     Counter rowCmds;
     Counter colCmds;
+};
+
+/**
+ * One fixed-offset command of a lowering template (see CmdTemplate).
+ * bankSlot indexes the per-call SequenceBinding's bank list, so the same
+ * template drives every VBA of a design.
+ */
+struct TemplateCmd
+{
+    CmdKind kind = CmdKind::Act;
+    /** Physical PC the command addresses. */
+    std::int16_t pc = 0;
+    /** Index into SequenceBinding::banks. */
+    std::int16_t bankSlot = 0;
+    /** Column for RD/WR entries. */
+    std::int32_t col = 0;
+    /** Tick offset from the sequence anchor t0. */
+    Tick offset = 0;
+};
+
+/**
+ * A precomputed "predetermined commands at fixed intervals" sequence
+ * (RoMe §IV-C, Figure 9): the steady-state lowering of one row-level
+ * operation, with every command at a constant offset from the anchor.
+ * Entries are in issue order — the order the scalar lowering path commits
+ * them — so a bulk commit reproduces the scalar path's state transitions
+ * and trace exactly.
+ */
+struct CmdTemplate
+{
+    std::vector<TemplateCmd> cmds;
+    /** Offset of the first / last column command (column-bus range check). */
+    Tick casFirstOffset = 0;
+    Tick casLastOffset = 0;
+    bool hasCas = false;
+
+    // ---- bulk-commit aggregates (derived from cmds by the recorder) -----
+    // The column stream's net effect on per-PC / per-bank records depends
+    // only on its last commands, so the bulk committer applies it once
+    // instead of per CAS. Offsets are identical across PCs.
+
+    /** Column commands per participating PC. */
+    int casPerPc = 0;
+    /** Bank slot of the last column command. */
+    std::int16_t lastCasSlot = 0;
+    /** All column commands of a template share one direction. */
+    bool casIsWrite = false;
+    /** Offset of the last column command per bank slot. */
+    std::array<Tick, 2> lastCasOffsetPerSlot{kTickInvalid, kTickInvalid};
+    /** PCs participating (PCs 0..pcCount-1 each see every offset). */
+    int pcCount = 0;
+    /** Fixed spacing of the column stream (per PC). */
+    Tick casCadence = 0;
+    /**
+     * Entries earliestSequence must inspect: every row command plus the
+     * first column command per PC — all later column commands interact
+     * only with the template's own stream.
+     */
+    std::vector<std::uint32_t> probeIdx;
+    /** Row-command entries (the bulk committer reserves CAS slots
+     *  arithmetically from casFirstOffset/casCadence instead). */
+    std::vector<std::uint32_t> rowIdx;
+};
+
+/** Per-call addressing context a CmdTemplate is bound to. */
+struct SequenceBinding
+{
+    int sid = 0;
+    int row = 0;
+    /** (bank group, bank) per template bank slot. */
+    std::array<std::pair<int, int>, 2> banks{};
+    int numBanks = 0;
 };
 
 /** One HBM channel with full conventional timing enforcement. */
@@ -85,6 +158,38 @@ class ChannelDevice
      * callers must consult earliestIssue first.
      */
     IssueResult issue(const Command& cmd, Tick when);
+
+    // ---- bulk template issue (RoMe steady-state fast path) --------------
+
+    /**
+     * Whole-template admission probe: returns @p t0 when every command of
+     * @p tpl can issue at exactly t0 + offset — i.e. the scalar lowering
+     * path, asked to start at @p t0, would produce precisely the
+     * template's fixed-interval schedule — and kTickMax otherwise
+     * (callers fall back to scalar per-command lowering, which stretches
+     * minimally instead).
+     *
+     * The probe validates only the constraints that involve pre-existing
+     * device state (per-bank floors, tRRD/tFAW/CAS-chain interaction with
+     * the last committed commands, refresh windows, and the row/column
+     * command-bus slot calendars); intra-template constraints hold by
+     * construction, since the template was recorded from a validated
+     * scalar run. The tFAW window — the one rule mixing pre-existing and
+     * template commands by order statistics — is checked against the k-th
+     * oldest entry of the ACT ring for the k-th template ACT.
+     */
+    Tick earliestSequence(const CmdTemplate& tpl, const SequenceBinding& b,
+                          Tick t0) const;
+
+    /**
+     * Commit every command of @p tpl at t0 + offset in one pass, with the
+     * identical state transitions, counters, and trace callbacks the
+     * scalar per-command path would produce — but without re-validating
+     * each command (debug builds still assert legality). Only call after
+     * earliestSequence(tpl, b, t0) returned t0.
+     */
+    void issueSequence(const CmdTemplate& tpl, const SequenceBinding& b,
+                       Tick t0);
 
     /** Observable state of the addressed bank at @p now. */
     BankState bankState(const DramAddress& a, Tick now) const;
@@ -241,6 +346,23 @@ class ChannelDevice
             return cand;
         }
 
+        /**
+         * True when no reservation overlaps [from, until) — a bulk probe
+         * for a template's whole column-command stream.
+         */
+        bool
+        rangeFree(Tick from, Tick until) const
+        {
+            if (occupied_.size() == head_ ||
+                from >= occupied_.back() + width_) {
+                return true;
+            }
+            const auto it = std::lower_bound(
+                occupied_.begin() + static_cast<std::ptrdiff_t>(head_),
+                occupied_.end(), from - width_ + 1);
+            return it == occupied_.end() || *it >= until;
+        }
+
         /** Mark [at, at+width) busy. */
         void
         reserve(Tick at)
@@ -310,6 +432,9 @@ class ChannelDevice
     Tick earliestCas(const DramAddress& a, bool is_write, Tick t0) const;
     Tick earliestRefPb(const DramAddress& a, Tick t0) const;
     Tick earliestRefAb(const DramAddress& a, Tick t0) const;
+
+    /** State-transition body of issue() (no validation). */
+    IssueResult commit(const Command& cmd, Tick when);
 
     Organization org_;
     TimingParams t_;

@@ -18,6 +18,22 @@
  * on the same VBA), the generator stretches the schedule minimally instead
  * of violating timing — tests assert both behaviours.
  *
+ * # Steady-state fast path
+ *
+ * The simulator exploits the fixed-interval structure directly: at
+ * construction the generator records one scalar lowering of each op kind
+ * on a scratch device into a CmdTemplate — a flat array of
+ * (kind, PC, bank slot, column, tick offset) entries — and caches the
+ * per-VBA lowering plans. execute() then asks the device to validate the
+ * whole template against its floors and bus calendars in one pass
+ * (ChannelDevice::earliestSequence) and, when it fits, commits every slot
+ * in one pass (issueSequence) without per-command probing or any heap
+ * allocation. Whenever the steady-state check fails — back-to-back ops on
+ * the same VBA, refresh collisions, command-bus slot collisions, cold or
+ * busy banks — the generator falls back to the scalar per-command path,
+ * so results are bit-identical to pre-template lowering (asserted across
+ * all VBA designs by tests/test_lowering.cc).
+ *
  * REF lowering implements the §V-B optimization: the two banks of a VBA are
  * refreshed back-to-back tRREFD apart, so the VBA stalls for
  * tRFCpb + tRREFD instead of 2 × tRFCpb.
@@ -26,6 +42,7 @@
 #ifndef ROME_ROME_CMDGEN_H
 #define ROME_ROME_CMDGEN_H
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.h"
@@ -52,9 +69,13 @@ class CommandGenerator
      * @param map     VBA organization (owns the lowering plan).
      * @param dev     The channel device; must be built from
      *                map.deviceOrganization() / map.deviceTiming().
+     * @param template_lowering  Use the precomputed-template fast path
+     *                (results are bit-identical either way; disabling it
+     *                exists for parity oracles and benchmarks).
      */
     CommandGenerator(const VbaMap& map, ChannelDevice& dev,
-                     CmdGenPlacement placement = CmdGenPlacement::LogicDie);
+                     CmdGenPlacement placement = CmdGenPlacement::LogicDie,
+                     bool template_lowering = true);
 
     /** Outcome of one lowered row operation. */
     struct RowOpResult
@@ -87,21 +108,53 @@ class CommandGenerator
     /** Row-level commands accepted so far (for energy accounting). */
     std::uint64_t rowCommandsAccepted() const { return rowCmds_; }
 
-  private:
-    RowOpResult executeRdWr(const RowCommand& cmd, Tick not_before);
-    RowOpResult executeRef(const RowCommand& cmd, Tick not_before);
+    /** True when the template fast path is enabled. */
+    bool templateLowering() const { return templatesEnabled_; }
 
-    /** Issue @p cmd to every participating PC at the same tick. */
-    ChannelDevice::IssueResult
-    issueAll(CmdKind kind, const DramAddress& a, Tick when);
+    /** Operations lowered via the one-pass template fast path. */
+    std::uint64_t templateHits() const { return templateHits_; }
+
+    /** Operations that fell back to scalar per-command lowering. */
+    std::uint64_t templateFallbacks() const { return templateFallbacks_; }
+
+  private:
+    /** One op kind's fixed-offset sequence and its relative outcome. */
+    struct OpTemplate
+    {
+        CmdTemplate seq;
+        /** RowOpResult with every tick relative to the anchor t0. */
+        RowOpResult rel;
+        /** Whether rel.dataFrom/dataUntil are meaningful (RD/WR only). */
+        bool hasData = false;
+    };
+
+    RowOpResult executeRdWr(ChannelDevice& dev, const RowCommand& cmd,
+                            Tick not_before);
+    RowOpResult executeRef(ChannelDevice& dev, const RowCommand& cmd,
+                           Tick not_before);
+
+    /** Issue @p kind at @p a to every participating PC at the same tick. */
+    ChannelDevice::IssueResult issueAll(ChannelDevice& dev,
+                                        const VbaPlan& plan, CmdKind kind,
+                                        const DramAddress& a, Tick when);
 
     /** Earliest tick every participating PC accepts @p kind at @p a. */
-    Tick earliestAll(CmdKind kind, const DramAddress& a, Tick t0) const;
+    Tick earliestAll(const ChannelDevice& dev, const VbaPlan& plan,
+                     CmdKind kind, const DramAddress& a, Tick t0) const;
+
+    /** Record one scalar lowering of @p kind into its OpTemplate. */
+    void buildTemplate(RowCmdKind kind);
 
     const VbaMap& map_;
     ChannelDevice& dev_;
     CmdGenPlacement placement_;
+    bool templatesEnabled_;
+    /** Indexed by RowCmdKind. */
+    std::array<OpTemplate, static_cast<std::size_t>(RowCmdKind::NumKinds)>
+        templates_;
     std::uint64_t rowCmds_ = 0;
+    std::uint64_t templateHits_ = 0;
+    std::uint64_t templateFallbacks_ = 0;
 };
 
 } // namespace rome

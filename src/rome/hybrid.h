@@ -18,13 +18,16 @@
 #ifndef ROME_ROME_HYBRID_H
 #define ROME_ROME_HYBRID_H
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "mc/mc.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
+#include "sim/source.h"
 
 namespace rome
 {
@@ -48,6 +51,21 @@ class HybridMc : public IMemoryController
 
     /** Route a request by size (addresses are partition-local). */
     void enqueue(const Request& req) override;
+
+    /**
+     * Native streaming: each partition pulls its own subsequence of the
+     * bound source on demand through a per-partition feed — nothing is
+     * drained upfront. A feed that encounters requests routed to the
+     * sibling stages them in the router (FIFO), so both partitions see
+     * exactly the request sequence the eager fallback would have
+     * delivered and results stay bit-identical. The drive pattern is
+     * unchanged (sequential partition drains), so the pulling partition
+     * runs in O(window) host memory and staging peaks at the sibling's
+     * not-yet-consumed share of the pulled span — for the RoMe-heavy
+     * mixes the hybrid targets, a small fraction of the workload, where
+     * the eager fallback buffered all of it.
+     */
+    void bindSource(RequestSource* src) override;
 
     void runUntil(Tick until) override;
 
@@ -96,10 +114,62 @@ class HybridMc : public IMemoryController
      */
     double effectiveBandwidth() const;
 
+    /**
+     * High-water mark of the router's staging buffers: how far the
+     * stream's partition interleaving forced one partition's requests to
+     * queue while the other pulled (bounded-memory evidence).
+     */
+    std::size_t stagingPeak() const { return stagingPeak_; }
+
   private:
+    /** One partition's demand-driven view of the shared bound source. */
+    class PartitionFeed final : public RequestSource
+    {
+      public:
+        void
+        attach(HybridMc* owner, int which)
+        {
+            owner_ = owner;
+            which_ = which;
+        }
+
+      protected:
+        bool
+        produce(Request& out) override
+        {
+            return owner_->feedNext(which_, out);
+        }
+
+        void rewind() override; // feeds cannot replay (fatals)
+
+      private:
+        HybridMc* owner_ = nullptr;
+        int which_ = 0;
+    };
+
+    /** 0 = RoMe (coarse) partition, 1 = conventional (fine). */
+    int
+    partitionOf(const Request& r) const
+    {
+        return r.size >= cfg_.coarseThreshold ? 0 : 1;
+    }
+
+    /**
+     * Next request of partition @p which: staged requests first, then
+     * pulls from the shared source, staging the sibling's requests met
+     * on the way. False only when the shared stream is exhausted.
+     */
+    bool feedNext(int which, Request& out);
+
+
     HybridConfig cfg_;
     RomeMc rome_;
     ConventionalMc fine_;
+    RequestSource* source_ = nullptr;
+    std::array<PartitionFeed, 2> feeds_;
+    /** Requests pulled past one feed, awaiting the other partition. */
+    std::array<std::deque<Request>, 2> staging_;
+    std::size_t stagingPeak_ = 0;
     mutable std::vector<Completion> mergedCompletions_;
     /** How many entries of each partition are already merged. */
     mutable std::size_t romeMerged_ = 0;

@@ -12,7 +12,7 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
     : baseCfg_(base), map_(base.org, base.timing, design), cfg_(cfg),
       mapOrder_(map_order), dev_(map_.deviceOrganization(),
                                  map_.deviceTiming()),
-      gen_(map_, dev_)
+      gen_(map_, dev_, CmdGenPlacement::LogicDie, !cfg.scalarLowering)
 {
     if (cfg_.timing) {
         timing_ = *cfg_.timing;
@@ -37,7 +37,7 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
     refresh_.interval = base.timing.tREFIbank / totalVbas_;
     if (cfg_.refreshFsms == 0) {
         // Average refresh concurrency: one VBA stall per interval.
-        const VbaPlan plan = map_.plan(VbaAddress{0, 0, 0});
+        const VbaPlan& plan = map_.planRef(VbaAddress{0, 0, 0});
         const Tick stall = base.timing.tRFCpb +
             (plan.banks.size() == 2 ? base.timing.tRREFD : 0);
         const double demand = static_cast<double>(stall) /
@@ -224,6 +224,22 @@ RomeMc::stepOnceIndexed(Tick until)
             ? now_
             : opBusy_.firstFreeAfter(now_);
 
+    // Candidate floors depend on the op only through (is_write, same_sid)
+    // and its VBA: precompute the four Table III gap variants so the scan
+    // is a pair of table lookups per queue entry.
+    Tick floor_at[2][2] = {{op_slot_free, op_slot_free},
+                           {op_slot_free, op_slot_free}};
+    if (lastRowCmdAt_ != kTickInvalid) {
+        for (int w = 0; w < 2; ++w) {
+            for (int s = 0; s < 2; ++s) {
+                floor_at[w][s] = std::max(
+                    op_slot_free,
+                    lastRowCmdAt_ + timing_.gap(lastRowCmdWasWrite_,
+                                                w != 0, s != 0));
+            }
+        }
+    }
+
     const RowOp* best = nullptr;
     std::size_t best_idx = 0;
     Tick best_at = kTickMax;
@@ -233,13 +249,7 @@ RomeMc::stepOnceIndexed(Tick until)
         if (refresh_target && refresh_target->sameVba(op.cmd.addr))
             continue; // let the pending refresh win the VBA
         const bool is_write = op.cmd.kind == RowCmdKind::WrRow;
-        Tick at = op_slot_free;
-        if (lastRowCmdAt_ != kTickInvalid) {
-            const bool same_sid = lastRowCmdSid_ == op.cmd.addr.sid;
-            at = std::max(at, lastRowCmdAt_ +
-                          timing_.gap(lastRowCmdWasWrite_, is_write,
-                                          same_sid));
-        }
+        Tick at = floor_at[is_write][lastRowCmdSid_ == op.cmd.addr.sid];
         at = std::max(
             at, vbaBusyUntil_[static_cast<std::size_t>(vbaKey(op.cmd.addr))]);
         const bool diff_vba = !lastRowCmdVba_ ||

@@ -83,6 +83,12 @@ struct RomeMcConfig
      * this exists as the parity oracle and the bench baseline.
      */
     bool legacyScheduler = false;
+    /**
+     * Lower every row op through the scalar per-command path instead of
+     * the precomputed-template fast path. Results are bit-identical;
+     * this exists as the parity oracle and the bench baseline.
+     */
+    bool scalarLowering = false;
 };
 
 /** How channel-local addresses map onto (VBA, SID, row) chunks. */

@@ -94,24 +94,29 @@ VbaMap::VbaMap(const Organization& base, const TimingParams& base_timing,
     if (devOrg_.channelCapacity() != base.channelCapacity())
         panic("VBA design %s changed channel capacity",
               design_.name().c_str());
+    // Plans depend only on the VBA index; build them all upfront so the
+    // lowering hot path never allocates.
+    const int n = vbasPerSid();
+    plans_.reserve(static_cast<std::size_t>(n));
+    for (int vba = 0; vba < n; ++vba)
+        plans_.push_back(buildPlan(vba));
 }
 
 VbaPlan
-VbaMap::plan(const VbaAddress& addr) const
+VbaMap::buildPlan(int vba) const
 {
-    checkAddress(addr);
     VbaPlan p;
     for (int pc = 0; pc < devOrg_.pcsPerChannel; ++pc)
         p.pcs.push_back(pc);
     if (design_.bankMode == BankMode::InterleavedDiffBg) {
-        const int ba = addr.vba % devOrg_.banksPerGroup;
-        const int group = addr.vba / devOrg_.banksPerGroup;
+        const int ba = vba % devOrg_.banksPerGroup;
+        const int group = vba / devOrg_.banksPerGroup;
         p.banks.emplace_back(2 * group, ba);
         p.banks.emplace_back(2 * group + 1, ba);
         p.casCadence = devTiming_.tCCDS;
     } else {
-        const int ba = addr.vba % devOrg_.banksPerGroup;
-        const int bg = addr.vba / devOrg_.banksPerGroup;
+        const int ba = vba % devOrg_.banksPerGroup;
+        const int bg = vba / devOrg_.banksPerGroup;
         p.banks.emplace_back(bg, ba);
         p.casCadence = devTiming_.tCCDL;
     }
@@ -119,6 +124,19 @@ VbaMap::plan(const VbaAddress& addr) const
     p.casPerBank = devOrg_.columnsPerRow();
     p.bytesPerCas = devOrg_.columnBytes;
     return p;
+}
+
+VbaPlan
+VbaMap::plan(const VbaAddress& addr) const
+{
+    return planRef(addr);
+}
+
+const VbaPlan&
+VbaMap::planRef(const VbaAddress& addr) const
+{
+    checkAddress(addr);
+    return plans_[static_cast<std::size_t>(addr.vba)];
 }
 
 void

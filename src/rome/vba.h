@@ -162,17 +162,29 @@ class VbaMap
     /** Rows per VBA (equals physical rows per bank). */
     int rowsPerVba() const { return devOrg_.rowsPerBank; }
 
-    /** Lowering plan for a row operation on @p addr. */
+    /** Lowering plan for a row operation on @p addr (by value). */
     VbaPlan plan(const VbaAddress& addr) const;
+
+    /**
+     * Precomputed lowering plan for @p addr. Plans depend only on the VBA
+     * index, so the map builds all of them once at construction; the
+     * command generator's hot path reads this reference without touching
+     * the allocator.
+     */
+    const VbaPlan& planRef(const VbaAddress& addr) const;
 
     /** Validate a VBA address (panics when out of range). */
     void checkAddress(const VbaAddress& a) const;
 
   private:
+    VbaPlan buildPlan(int vba) const;
+
     Organization base_;
     VbaDesign design_;
     Organization devOrg_;
     TimingParams devTiming_;
+    /** One plan per VBA index, built at construction. */
+    std::vector<VbaPlan> plans_;
 };
 
 } // namespace rome

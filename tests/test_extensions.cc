@@ -11,6 +11,8 @@
 #include "dram/hbm4_config.h"
 #include "rome/ecc.h"
 #include "rome/hybrid.h"
+#include "sim/source.h"
+#include "sim/workloads.h"
 
 namespace rome
 {
@@ -71,6 +73,94 @@ TEST(Hybrid, RecoversFineGrainedBandwidth)
         static_cast<double>(hybrid.bytesCoarse() + hybrid.bytesFine());
     EXPECT_GT(pure_overfetch, 0.08);
     EXPECT_LT(hybrid_overfetch, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Native streaming: the router pulls the bound source into its partitions
+// on demand instead of draining it upfront.
+// ---------------------------------------------------------------------------
+
+SparseMixPattern
+hybridMix()
+{
+    SparseMixPattern p;
+    p.totalBytes = 2_MiB;
+    p.fineFraction = 0.3;
+    p.fineBytes = 512;
+    p.coarseBytes = 16_KiB;
+    p.seed = 13;
+    return p;
+}
+
+TEST(Hybrid, StreamingMatchesEagerEnqueue)
+{
+    const auto reqs = sparseMixRequests(hybridMix());
+
+    // Pre-redesign path: route-and-enqueue everything, then drain.
+    HybridMc eager(hbm4Config(), HybridConfig{});
+    for (const auto& r : reqs)
+        eager.enqueue(r);
+    eager.drain();
+
+    // Streaming path: partitions pull their subsequences on demand.
+    HybridMc streamed(hbm4Config(), HybridConfig{});
+    ReplaySource src(reqs);
+    const ControllerStats ss = runWorkload(streamed, src);
+
+    EXPECT_TRUE(eager.stats() == ss);
+    EXPECT_EQ(eager.completions().size(), streamed.completions().size());
+    EXPECT_EQ(eager.bytesCoarse(), streamed.bytesCoarse());
+    EXPECT_EQ(eager.bytesFine(), streamed.bytesFine());
+}
+
+TEST(Hybrid, StreamingMatchesEagerUnderOpenLoopArrivals)
+{
+    ArrivalSpec spec;
+    spec.model = ArrivalModel::Poisson;
+    spec.meanGap = 120;
+    spec.seed = 3;
+    ArrivalProcess shaped(std::make_unique<SparseMixSource>(hybridMix()),
+                          spec);
+    const auto reqs = collectRequests(shaped);
+    shaped.reset();
+
+    HybridMc eager(hbm4Config(), HybridConfig{});
+    for (const auto& r : reqs)
+        eager.enqueue(r);
+    eager.drain();
+
+    HybridMc streamed(hbm4Config(), HybridConfig{});
+    EXPECT_TRUE(eager.stats() == runWorkload(streamed, shaped));
+}
+
+TEST(Hybrid, StreamingStagesOnlyTheSiblingShare)
+{
+    // Streaming stages at most the sibling partition's share of the
+    // stream (the fine minority for this RoMe-heavy mix) while the
+    // pulling partition itself runs in O(window) host memory — the eager
+    // fallback buffered the whole workload.
+    SparseMixPattern p = hybridMix();
+    p.totalBytes = 8_MiB;
+    SparseMixSource src(p);
+    std::size_t fine_requests = 0;
+    std::size_t total_requests = 0;
+    {
+        SparseMixSource count(p);
+        Request r;
+        while (count.next(r)) {
+            ++total_requests;
+            fine_requests += r.size < HybridConfig{}.coarseThreshold;
+        }
+    }
+    HybridMc mc(hbm4Config(), HybridConfig{});
+    const ControllerStats s = runWorkload(mc, src);
+    EXPECT_EQ(s.completedRequests, total_requests);
+    EXPECT_LE(mc.stagingPeak(), fine_requests);
+    EXPECT_LT(mc.stagingPeak(), total_requests / 2);
+    EXPECT_LE(mc.romePartition().hostBufferPeak(),
+              mc.romePartition().sourceWindow());
+    EXPECT_LE(mc.finePartition().hostBufferPeak(),
+              mc.finePartition().sourceWindow());
 }
 
 TEST(Ecc, SecDedParityMatchesKnownPoints)

@@ -257,6 +257,43 @@ TEST(Trace, CheckedInFixtureReplays)
     EXPECT_GT(s.totalBytes(), 0u);
 }
 
+TEST(Trace, CorpusPhaseTracesReplayOnBothStacks)
+{
+    // The checked-in LLM phase traces (binary v1, recorded by
+    // `trace_replay record ... decode|prefill`) drive both stacks
+    // deterministically.
+    for (const char* phase : {"decode", "prefill"}) {
+        TraceSource trace(std::string(ROME_SOURCE_DIR) + "/tests/data/" +
+                          phase + ".trace");
+        EXPECT_EQ(trace.format(), TraceFormat::Binary);
+        const auto reqs = collectRequests(trace);
+        ASSERT_GT(reqs.size(), 100u) << phase;
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            bytes += reqs[i].size;
+            if (i > 0) {
+                EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+            }
+        }
+        // The recorder drains the generator, which finishes the request
+        // that crosses its byte budget.
+        EXPECT_GE(bytes, 2_MiB) << phase;
+        EXPECT_LT(bytes, 2_MiB + 64_KiB) << phase;
+
+        for (const MemorySystem sys :
+             {MemorySystem::Hbm4, MemorySystem::RoMe}) {
+            trace.reset();
+            auto a = makeChannelController(sys, hbm4Config());
+            const ControllerStats sa = runWorkload(*a, trace);
+            EXPECT_EQ(sa.completedRequests, reqs.size()) << phase;
+            trace.reset();
+            auto b = makeChannelController(sys, hbm4Config());
+            EXPECT_TRUE(sa == runWorkload(*b, trace))
+                << phase << " replay is not deterministic";
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Arrival processes and combinators
 // ---------------------------------------------------------------------------
