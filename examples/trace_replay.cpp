@@ -4,11 +4,16 @@
  * trace, replay a trace through any controller, and demonstrate that a
  * multi-million-request workload streams in O(queue depth) host memory.
  *
- *   $ ./trace_replay record <out.trace> [text|bin] [MiB] [decode|prefill]
+ *   $ ./trace_replay record <out.trace> [text|bin] [MiB] [decode|prefill|serve]
  *       Record an LLM phase-profile source (shaped by a Poisson arrival
  *       process) into a trace file. decode: mixed weight streams + KV
- *       gathers; prefill: long weight streams + KV-append writes. The
- *       binary fixtures under tests/data/ were produced by this command.
+ *       gathers; prefill: long weight streams + KV-append writes; serve:
+ *       a mixed serving phase — concurrent decode and prefill tenants
+ *       (2:1 traffic split), each an independent open-loop Poisson
+ *       stream, merged by arrival into one system-wide request stream.
+ *       The binary fixtures under tests/data/ (including the long
+ *       serving trace behind bench_serving_curves) were produced by this
+ *       command.
  *
  *   $ ./trace_replay replay <in.trace> [hbm4|rome|hybrid]
  *       Stream a trace through one channel controller and print stats.
@@ -44,7 +49,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: trace_replay record <out.trace> [text|bin] [MiB] "
-                 "[decode|prefill]\n"
+                 "[decode|prefill|serve]\n"
                  "       trace_replay replay <in.trace> [hbm4|rome|hybrid]\n"
                  "       trace_replay stream <requests>\n");
     std::exit(2);
@@ -69,7 +74,8 @@ printStats(const char* what, const ControllerStats& s)
  * a substantial write share, offered near peak.
  */
 std::unique_ptr<RequestSource>
-recordedSource(std::uint64_t total_bytes, const std::string& phase)
+phaseSource(std::uint64_t total_bytes, const std::string& phase,
+            std::uint64_t arrival_seed = 9)
 {
     const DramConfig dram = hbm4Config();
     ChannelWorkloadProfile profile;
@@ -92,15 +98,26 @@ recordedSource(std::uint64_t total_bytes, const std::string& phase)
     // Open-loop Poisson offered load relative to channel peak.
     ArrivalSpec spec;
     spec.model = ArrivalModel::Poisson;
-    const double mean_req_bytes =
-        profile.smallFraction *
-            static_cast<double>(profile.smallRequestBytes) +
-        (1.0 - profile.smallFraction) *
-            static_cast<double>(profile.largeRequestBytes);
+    spec.seed = arrival_seed;
     const double peak = dram.org.channelBandwidthBytesPerNs();
     spec.meanGap =
-        ticksFromNs(mean_req_bytes / (offered * peak));
+        ticksFromNs(profile.meanRequestBytes() / (offered * peak));
     return std::make_unique<ArrivalProcess>(std::move(inner), spec);
+}
+
+std::unique_ptr<RequestSource>
+recordedSource(std::uint64_t total_bytes, const std::string& phase)
+{
+    if (phase != "serve")
+        return phaseSource(total_bytes, phase);
+    // Mixed serving phase: a decode tenant and a prefill tenant run
+    // concurrently (2:1 traffic split) as independent open-loop Poisson
+    // streams; MixSource merges them by arrival and reassigns ids, so
+    // the trace is one nondecreasing system-wide request stream.
+    std::vector<std::unique_ptr<RequestSource>> tenants;
+    tenants.push_back(phaseSource(total_bytes / 3 * 2, "decode", 9));
+    tenants.push_back(phaseSource(total_bytes / 3, "prefill", 10));
+    return std::make_unique<MixSource>(std::move(tenants));
 }
 
 int

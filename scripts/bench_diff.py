@@ -10,6 +10,7 @@ and compares the perf metrics:
 
   - *StepsPerSec, speedup        higher is better
   - *Seconds                     lower is better
+  - *P99Ns, *P999Ns              lower is better (serving tail latency)
 
 A metric counts as regressed when it moved against its direction by more
 than FRAC (default 0.15 — bench runners are noisy). Top-level metrics of
@@ -24,9 +25,11 @@ import json
 import sys
 
 HIGHER_IS_BETTER = ("stepspersec", "speedup")
-LOWER_IS_BETTER = ("seconds",)
+# p999ns before p99ns is irrelevant (suffix match), but keep tail-latency
+# percentiles distinct: latencyP99Ns / latencyP999Ns from the serving rows.
+LOWER_IS_BETTER = ("seconds", "p99ns", "p999ns")
 IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
-                   "design", "pagePolicy")
+                   "design", "pagePolicy", "load")
 
 
 def metric_direction(key):

@@ -8,6 +8,7 @@
 #ifndef ROME_COMMON_STATS_H
 #define ROME_COMMON_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -84,6 +85,82 @@ class Accumulator
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Streaming latency histogram with HdrHistogram-style log-linear buckets:
+ * each power-of-two octave is split into 32 linear sub-buckets, so any
+ * recorded value is off by at most 1/32 (~3.1%) of its magnitude and
+ * values below 64 ns are exact. The bucket array is a fixed-size
+ * std::array covering the full uint64 range (~15 KiB), so sampling is
+ * O(1) with no allocation and a histogram can ride inside a stats
+ * snapshot by value.
+ *
+ * Merging adds bucket counts element-wise, which is *exact*: the merge of
+ * per-channel histograms yields the same percentiles as one histogram fed
+ * every channel's samples. That is what makes cube-level tail latency
+ * (p99/p99.9 across 32 channels) well-defined — per-channel means or
+ * maxima cannot be combined into a system percentile, bucket counts can.
+ *
+ * Samples are latencies in nanoseconds; negative samples clamp to 0.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Sub-buckets per octave (2^5 = 32 → ≤3.1% relative error). */
+    static constexpr int kSubBucketBits = 5;
+    static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+    /** Buckets covering every uint64 ns value (60 octave groups). */
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>(64 - kSubBucketBits + 1) * kSubBuckets;
+
+    /** Record one latency sample (ns). */
+    void sample(double ns);
+
+    /** Fold another histogram's samples into this one (exact). */
+    void merge(const LatencyHistogram& o);
+
+    void reset() { *this = LatencyHistogram{}; }
+
+    std::uint64_t count() const { return count_; }
+    double minNs() const { return count_ ? min_ : 0.0; }
+    double maxNs() const { return count_ ? max_ : 0.0; }
+    double
+    meanNs() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Nearest-rank p-th percentile (p in [0, 100]) estimated from bucket
+     * boundaries; the result is clamped to [minNs, maxNs] and p >= 100
+     * returns the exact maximum. Relative error is bounded by the bucket
+     * width (≤3.1%); values below 64 ns are exact.
+     */
+    double percentileNs(double p) const;
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i];
+    }
+
+    /** Bucket index recording integer value @p v. */
+    static std::size_t indexFor(std::uint64_t v);
+
+    /** Smallest integer value landing in bucket @p i. */
+    static std::uint64_t bucketLow(std::size_t i);
+
+    /** Exact-state equality (bucket counts and min/max/sum/count). */
+    bool operator==(const LatencyHistogram& o) const;
+    bool operator!=(const LatencyHistogram& o) const { return !(*this == o); }
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
 };

@@ -135,6 +135,15 @@ HybridMc::latencyNs() const
     return mergedLatency_;
 }
 
+const LatencyHistogram&
+HybridMc::latencyHistogramNs() const
+{
+    mergedLatencyHist_.reset();
+    mergedLatencyHist_.merge(rome_.latencyHistogramNs());
+    mergedLatencyHist_.merge(fine_.latencyHistogramNs());
+    return mergedLatencyHist_;
+}
+
 McComplexity
 HybridMc::complexity() const
 {
@@ -157,7 +166,7 @@ ControllerStats
 HybridMc::stats() const
 {
     ControllerStats s = rome_.stats();
-    s.accumulate(fine_.stats());
+    s.merge(fine_.stats());
     s.deriveBandwidths();
     return s;
 }

@@ -87,6 +87,17 @@ class HybridMc : public IMemoryController
     /** Merged latency statistics of both partitions. */
     const Accumulator& latencyNs() const override;
 
+    /** Merged latency distribution of both partitions (exact merge). */
+    const LatencyHistogram& latencyHistogramNs() const override;
+
+    /** Forward to both partitions (their logs feed completions()). */
+    void
+    setRetainCompletions(bool retain) override
+    {
+        rome_.setRetainCompletions(retain);
+        fine_.setRetainCompletions(retain);
+    }
+
     /** Combined structures of the two partition controllers. */
     McComplexity complexity() const override;
 
@@ -175,6 +186,7 @@ class HybridMc : public IMemoryController
     mutable std::size_t romeMerged_ = 0;
     mutable std::size_t fineMerged_ = 0;
     mutable Accumulator mergedLatency_;
+    mutable LatencyHistogram mergedLatencyHist_;
 };
 
 } // namespace rome

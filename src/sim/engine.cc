@@ -24,11 +24,12 @@ ControllerStats::operator==(const ControllerStats& o) const
            achievedBandwidth == o.achievedBandwidth &&
            effectiveBandwidth == o.effectiveBandwidth &&
            rowHitRate == o.rowHitRate && latencyMeanNs == o.latencyMeanNs &&
-           latencyMaxNs == o.latencyMaxNs;
+           latencyMaxNs == o.latencyMaxNs &&
+           latencyHistNs == o.latencyHistNs;
 }
 
 void
-ControllerStats::accumulate(const ControllerStats& o)
+ControllerStats::merge(const ControllerStats& o)
 {
     // Weighted means need the pre-add weights of both sides.
     const double lat_w = static_cast<double>(completedRequests) +
@@ -61,6 +62,9 @@ ControllerStats::accumulate(const ControllerStats& o)
     interfaceCommands += o.interfaceCommands;
     finishedAt = std::max(finishedAt, o.finishedAt);
     latencyMaxNs = std::max(latencyMaxNs, o.latencyMaxNs);
+    // Bucket counts add, so merged percentiles are exact — identical to a
+    // histogram that sampled every channel's requests directly.
+    latencyHistNs.merge(o.latencyHistNs);
 }
 
 void
@@ -171,7 +175,9 @@ ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
         ++completedCount_;
         if (retainCompletions_)
             completions_.push_back(Completion{req_id, data_end});
-        latencyNs_.sample(nsFromTicks(data_end - it->second.arrival));
+        const double lat_ns = nsFromTicks(data_end - it->second.arrival);
+        latencyNs_.sample(lat_ns);
+        latencyHistNs_.sample(lat_ns);
         inflight_.erase(it);
     }
 }
@@ -215,6 +221,7 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
     s.completedRequests = completedCount_;
     s.latencyMeanNs = latencyNs_.mean();
     s.latencyMaxNs = latencyNs_.max();
+    s.latencyHistNs = latencyHistNs_;
     const auto& c = device().counters();
     s.acts = c.acts.value();
     s.pres = c.pres.value();
@@ -340,7 +347,7 @@ ChannelSimEngine::totals() const
 {
     ControllerStats sum;
     for (const auto& c : channels_)
-        sum.accumulate(c->stats());
+        sum.merge(c->stats());
     sum.deriveBandwidths();
     return sum;
 }

@@ -94,15 +94,31 @@ struct ControllerStats
     double latencyMeanNs = 0.0;
     double latencyMaxNs = 0.0;
 
+    /**
+     * Full request-latency distribution (ns). Carried by value so that
+     * merging channel snapshots keeps cube-level percentiles *exact*:
+     * bucket counts add, unlike means/maxima which cannot recover a
+     * system p99. Consumed by the serving harness (sim/serving.h).
+     */
+    LatencyHistogram latencyHistNs;
+
     std::uint64_t totalBytes() const { return bytesRead + bytesWritten; }
 
+    /** Percentile of the merged latency distribution (ns), p in [0,100]. */
+    double
+    latencyPercentileNs(double p) const
+    {
+        return latencyHistNs.percentileNs(p);
+    }
+
     /**
-     * Sum @p o into this snapshot: counters add, finishedAt/latencyMaxNs
-     * take the max, latencyMeanNs is weighted by completed requests and
-     * rowHitRate by column commands. Derived bandwidths are left stale —
-     * call deriveBandwidths() once after the last accumulate.
+     * Merge @p o into this snapshot: counters and histogram buckets add,
+     * finishedAt/latencyMaxNs take the max, latencyMeanNs is weighted by
+     * completed requests and rowHitRate by column commands. Derived
+     * bandwidths are left stale — call deriveBandwidths() once after the
+     * last merge.
      */
-    void accumulate(const ControllerStats& o);
+    void merge(const ControllerStats& o);
 
     /** Re-derive achieved/effective bandwidth from bytes and finishedAt. */
     void deriveBandwidths();
@@ -151,8 +167,20 @@ class IMemoryController
     /** Completions in finish order (appended as requests retire). */
     virtual const std::vector<Completion>& completions() const = 0;
 
+    /**
+     * Disable (or re-enable) the per-request completion log so
+     * arbitrarily long streamed workloads run in O(queue-depth) memory;
+     * counters, latency stats, and histograms are unaffected. Composite
+     * controllers forward to their parts; the default is a no-op for
+     * controllers without a log.
+     */
+    virtual void setRetainCompletions(bool retain) { (void)retain; }
+
     /** Request latency statistics (ns). */
     virtual const Accumulator& latencyNs() const = 0;
+
+    /** Full request-latency distribution (ns), mergeable across channels. */
+    virtual const LatencyHistogram& latencyHistogramNs() const = 0;
 
     /** Table IV introspection. */
     virtual McComplexity complexity() const = 0;
@@ -276,6 +304,11 @@ class ChannelControllerBase : public IMemoryController
         return completions_;
     }
     const Accumulator& latencyNs() const final { return latencyNs_; }
+    const LatencyHistogram&
+    latencyHistogramNs() const final
+    {
+        return latencyHistNs_;
+    }
 
     /** The timing-enforcing device this controller drives. */
     virtual const ChannelDevice& device() const = 0;
@@ -303,7 +336,11 @@ class ChannelControllerBase : public IMemoryController
      * empty; completedRequests / latency stats are unaffected). Required
      * for O(1)-memory streaming of arbitrarily long workloads.
      */
-    void setRetainCompletions(bool retain) { retainCompletions_ = retain; }
+    void
+    setRetainCompletions(bool retain) override
+    {
+        retainCompletions_ = retain;
+    }
 
   protected:
     /** Host-request progress tracking. */
@@ -354,6 +391,7 @@ class ChannelControllerBase : public IMemoryController
     std::unordered_map<std::uint64_t, ReqState> inflight_;
     std::vector<Completion> completions_;
     Accumulator latencyNs_;
+    LatencyHistogram latencyHistNs_;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
     std::uint64_t steps_ = 0;

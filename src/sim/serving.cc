@@ -1,0 +1,122 @@
+#include "sim/serving.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace rome
+{
+
+ServingDriver::ServingDriver(ServingConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.makeController)
+        fatal("serving driver needs a controller factory");
+    if (!cfg_.makeSystemSource)
+        fatal("serving driver needs a system source factory");
+    if (cfg_.numChannels < 1)
+        fatal("serving driver needs at least one channel");
+}
+
+ServingResult
+ServingDriver::run(double offered_rps) const
+{
+    if (offered_rps <= 0.0)
+        fatal("offered rate must be positive (got %g rps)", offered_rps);
+
+    // The arrival process re-times the *system* stream before sharding,
+    // so every channel sees its subset with globally assigned arrival
+    // ticks — one cube-wide open-loop load, not N independent ones.
+    ArrivalSpec spec;
+    spec.model = cfg_.arrivalModel;
+    spec.seed = cfg_.arrivalSeed;
+    spec.meanGap = std::max<Tick>(ticksFromNs(1e9 / offered_rps), 1);
+    // The gap quantizes to whole ticks; report the rate actually driven
+    // so the saturation test compares achieved throughput against what
+    // the arrival process really offered, not the pre-rounding request.
+    const double actual_rps = 1e9 / nsFromTicks(spec.meanGap);
+    const SourceFactory timed = [this, spec] {
+        return std::make_unique<ArrivalProcess>(cfg_.makeSystemSource(),
+                                                spec);
+    };
+    auto shards =
+        shardAcrossChannels(timed, cfg_.numChannels, cfg_.stripeBytes);
+
+    ChannelSimEngine engine(cfg_.threads);
+    for (int ch = 0; ch < cfg_.numChannels; ++ch) {
+        auto mc = cfg_.makeController();
+        if (!mc)
+            fatal("serving controller factory produced no controller");
+        if (!cfg_.retainCompletions)
+            mc->setRetainCompletions(false);
+        const int idx = engine.addChannel(std::move(mc));
+        engine.bindSource(idx,
+                          std::move(shards[static_cast<std::size_t>(ch)]));
+    }
+
+    ServingResult res;
+    res.offeredRps = actual_rps;
+    res.finishedAt = engine.drainAll();
+    res.perChannel.reserve(static_cast<std::size_t>(cfg_.numChannels));
+    for (int ch = 0; ch < cfg_.numChannels; ++ch)
+        res.perChannel.push_back(engine.channel(ch).stats());
+    for (const auto& s : res.perChannel)
+        res.aggregate.merge(s);
+    res.aggregate.deriveBandwidths();
+    if (res.finishedAt > 0) {
+        res.achievedRps =
+            static_cast<double>(res.aggregate.completedRequests) /
+            nsFromTicks(res.finishedAt) * 1e9;
+    }
+    return res;
+}
+
+RateSweep
+runRateSweep(const ServingDriver& driver,
+             const std::vector<double>& offered_rps,
+             double saturation_tolerance)
+{
+    RateSweep sweep;
+    sweep.points.reserve(offered_rps.size());
+    for (const double rps : offered_rps) {
+        const ServingResult res = driver.run(rps);
+        RatePoint pt;
+        pt.offeredRps = res.offeredRps;
+        pt.achievedRps = res.achievedRps;
+        pt.completedRequests = res.aggregate.completedRequests;
+        pt.p50Ns = res.aggregate.latencyPercentileNs(50.0);
+        pt.p90Ns = res.aggregate.latencyPercentileNs(90.0);
+        pt.p99Ns = res.aggregate.latencyPercentileNs(99.0);
+        pt.p999Ns = res.aggregate.latencyPercentileNs(99.9);
+        pt.maxNs = res.aggregate.latencyHistNs.maxNs();
+        pt.meanNs = res.aggregate.latencyHistNs.meanNs();
+        pt.effectiveBandwidth = res.aggregate.effectiveBandwidth;
+        pt.saturated =
+            pt.achievedRps < pt.offeredRps * (1.0 - saturation_tolerance);
+        if (pt.saturated && sweep.kneeIndex < 0)
+            sweep.kneeIndex = static_cast<int>(sweep.points.size());
+        sweep.points.push_back(pt);
+    }
+    return sweep;
+}
+
+void
+ratePointJson(JsonWriter& w, const RatePoint& pt)
+{
+    w.key("offeredRps").value(pt.offeredRps);
+    w.key("achievedRps").value(pt.achievedRps);
+    w.key("completedRequests").value(pt.completedRequests);
+    w.key("latencyP50Ns").value(pt.p50Ns);
+    w.key("latencyP90Ns").value(pt.p90Ns);
+    w.key("latencyP99Ns").value(pt.p99Ns);
+    w.key("latencyP999Ns").value(pt.p999Ns);
+    w.key("latencyMaxNs").value(pt.maxNs);
+    w.key("latencyMeanNs").value(pt.meanNs);
+    w.key("effectiveBandwidth").value(pt.effectiveBandwidth);
+    w.key("saturated").value(pt.saturated);
+}
+
+} // namespace rome

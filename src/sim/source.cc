@@ -301,6 +301,75 @@ MixSource::rewind()
 }
 
 // ---------------------------------------------------------------------------
+// RepeatSource
+// ---------------------------------------------------------------------------
+
+RepeatSource::RepeatSource(std::unique_ptr<RequestSource> inner,
+                           std::uint64_t times)
+    : inner_(std::move(inner)), times_(times)
+{
+    if (!inner_)
+        fatal("repeat source needs an inner source");
+    if (times_ == 0)
+        fatal("repeat source needs at least one round");
+}
+
+bool
+RepeatSource::produce(Request& out)
+{
+    while (!inner_->next(out)) {
+        if (++round_ >= times_)
+            return false;
+        arrivalBase_ = lastArrival_;
+        inner_->reset();
+    }
+    out.id = nextId_++;
+    out.arrival += arrivalBase_;
+    lastArrival_ = out.arrival;
+    return true;
+}
+
+void
+RepeatSource::rewind()
+{
+    inner_->reset();
+    round_ = 0;
+    nextId_ = 1;
+    arrivalBase_ = 0;
+    lastArrival_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// TakeSource
+// ---------------------------------------------------------------------------
+
+TakeSource::TakeSource(std::unique_ptr<RequestSource> inner,
+                       std::uint64_t limit)
+    : inner_(std::move(inner)), limit_(limit)
+{
+    if (!inner_)
+        fatal("take source needs an inner source");
+}
+
+bool
+TakeSource::produce(Request& out)
+{
+    if (taken_ >= limit_)
+        return false;
+    if (!inner_->next(out))
+        return false;
+    ++taken_;
+    return true;
+}
+
+void
+TakeSource::rewind()
+{
+    inner_->reset();
+    taken_ = 0;
+}
+
+// ---------------------------------------------------------------------------
 // ShardSource
 // ---------------------------------------------------------------------------
 
@@ -337,6 +406,23 @@ ShardSource::rewind()
 {
     inner_->reset();
     index_ = 0;
+}
+
+std::vector<std::unique_ptr<RequestSource>>
+shardAcrossChannels(const SourceFactory& make_system, int num_channels,
+                    std::uint64_t stripe_bytes)
+{
+    if (!make_system)
+        fatal("shardAcrossChannels needs a system source factory");
+    if (num_channels < 1)
+        fatal("shardAcrossChannels needs at least one channel");
+    std::vector<std::unique_ptr<RequestSource>> shards;
+    shards.reserve(static_cast<std::size_t>(num_channels));
+    for (int ch = 0; ch < num_channels; ++ch) {
+        shards.push_back(std::make_unique<ShardSource>(
+            make_system(), ch, num_channels, stripe_bytes));
+    }
+    return shards;
 }
 
 } // namespace rome

@@ -322,6 +322,51 @@ class MixSource final : public RequestSource
 };
 
 /**
+ * Replays the inner source @p times times back to back. Ids are
+ * reassigned sequentially (uniqueness across rounds) and each round's
+ * arrivals are rebased onto the previous round's last arrival tick, so
+ * the output stays nondecreasing. Turns a short recorded trace into a
+ * statistically meaningful serving stream without re-recording it.
+ */
+class RepeatSource final : public RequestSource
+{
+  public:
+    RepeatSource(std::unique_ptr<RequestSource> inner, std::uint64_t times);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    std::unique_ptr<RequestSource> inner_;
+    std::uint64_t times_;
+    std::uint64_t round_ = 0;
+    std::uint64_t nextId_ = 1;
+    Tick arrivalBase_ = 0;
+    Tick lastArrival_ = 0;
+};
+
+/**
+ * Passes through the first @p limit requests of the inner source, then
+ * ends the stream. Used to cap a long recorded trace for smoke runs
+ * without re-recording it.
+ */
+class TakeSource final : public RequestSource
+{
+  public:
+    TakeSource(std::unique_ptr<RequestSource> inner, std::uint64_t limit);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    std::unique_ptr<RequestSource> inner_;
+    std::uint64_t limit_;
+    std::uint64_t taken_ = 0;
+};
+
+/**
  * One channel's shard of a system-wide stream: yields only the requests
  * assigned to @p shard of @p num_shards. With stripe_bytes == 0 requests
  * are dealt round-robin by index; otherwise the request's address stripe
@@ -345,6 +390,21 @@ class ShardSource final : public RequestSource
     std::uint64_t stripeBytes_;
     std::uint64_t index_ = 0;
 };
+
+/**
+ * Shard one system-wide stream across the channels of a cube: element i
+ * of the result is ShardSource i of @p num_channels over a fresh instance
+ * of @p make_system. Together the shards cover the system stream exactly
+ * once (disjoint and complete — asserted by tests/test_serving.cc), so
+ * binding shard i to channel i of a ChannelSimEngine drives the whole
+ * cube with system-level offered load. Each shard regenerates the stream
+ * independently, which keeps channels free of shared mutable state — the
+ * property that makes the multi-channel drive embarrassingly parallel
+ * and thread-count-invariant.
+ */
+std::vector<std::unique_ptr<RequestSource>>
+shardAcrossChannels(const SourceFactory& make_system, int num_channels,
+                    std::uint64_t stripe_bytes = 0);
 
 } // namespace rome
 

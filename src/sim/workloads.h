@@ -94,6 +94,15 @@ struct ChannelWorkloadProfile
     /** Total bytes to simulate (per channel). */
     std::uint64_t totalBytes = 8 * 1024 * 1024;
     std::uint64_t seed = 1;
+
+    /** Expected bytes per request under the small/large request mix. */
+    double
+    meanRequestBytes() const
+    {
+        return smallFraction * static_cast<double>(smallRequestBytes) +
+               (1.0 - smallFraction) *
+                   static_cast<double>(largeRequestBytes);
+    }
 };
 
 /**
