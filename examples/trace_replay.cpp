@@ -5,15 +5,22 @@
  * multi-million-request workload streams in O(queue depth) host memory.
  *
  *   $ ./trace_replay record <out.trace> [text|bin] [MiB] [decode|prefill|serve]
+ *                          [--bursty]
  *       Record an LLM phase-profile source (shaped by a Poisson arrival
  *       process) into a trace file. decode: mixed weight streams + KV
  *       gathers; prefill: long weight streams + KV-append writes; serve:
  *       a mixed serving phase — concurrent decode and prefill tenants
  *       (2:1 traffic split), each an independent open-loop Poisson
  *       stream, merged by arrival into one system-wide request stream.
- *       The binary fixtures under tests/data/ (including the long
- *       serving trace behind bench_serving_curves) were produced by this
- *       command.
+ *       --bursty swaps each tenant's Poisson process for Poisson-arriving
+ *       16-request bursts at the same long-run rate: batched-inference
+ *       arrivals whose queue swings stress tail latency near the knee and
+ *       keep the controllers' epoch detector on its fallback path (burst
+ *       edges are exactly the aperiodic admissions it must refuse to
+ *       memoize). tests/data/serving_bursty.trace was produced by this
+ *       command; the other binary fixtures under tests/data/ (including
+ *       the long serving trace behind bench_serving_curves) predate the
+ *       flag.
  *
  *   $ ./trace_replay replay <in.trace> [hbm4|rome|hybrid]
  *       Stream a trace through one channel controller and print stats.
@@ -49,7 +56,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: trace_replay record <out.trace> [text|bin] [MiB] "
-                 "[decode|prefill|serve]\n"
+                 "[decode|prefill|serve] [--bursty]\n"
                  "       trace_replay replay <in.trace> [hbm4|rome|hybrid]\n"
                  "       trace_replay stream <requests>\n");
     std::exit(2);
@@ -75,7 +82,7 @@ printStats(const char* what, const ControllerStats& s)
  */
 std::unique_ptr<RequestSource>
 phaseSource(std::uint64_t total_bytes, const std::string& phase,
-            std::uint64_t arrival_seed = 9)
+            std::uint64_t arrival_seed = 9, bool bursty = false)
 {
     const DramConfig dram = hbm4Config();
     ChannelWorkloadProfile profile;
@@ -95,9 +102,11 @@ phaseSource(std::uint64_t total_bytes, const std::string& phase,
     profile.totalBytes = total_bytes;
     auto inner = std::make_unique<ProfileSource>(
         profile, false, 4096, dram.org.channelCapacity());
-    // Open-loop Poisson offered load relative to channel peak.
+    // Open-loop offered load relative to channel peak. Bursty keeps the
+    // same long-run rate but groups arrivals into 16-request batches.
     ArrivalSpec spec;
-    spec.model = ArrivalModel::Poisson;
+    spec.model = bursty ? ArrivalModel::Bursty : ArrivalModel::Poisson;
+    spec.burstLen = 16;
     spec.seed = arrival_seed;
     const double peak = dram.org.channelBandwidthBytesPerNs();
     spec.meanGap =
@@ -106,17 +115,18 @@ phaseSource(std::uint64_t total_bytes, const std::string& phase,
 }
 
 std::unique_ptr<RequestSource>
-recordedSource(std::uint64_t total_bytes, const std::string& phase)
+recordedSource(std::uint64_t total_bytes, const std::string& phase,
+               bool bursty)
 {
     if (phase != "serve")
-        return phaseSource(total_bytes, phase);
+        return phaseSource(total_bytes, phase, 9, bursty);
     // Mixed serving phase: a decode tenant and a prefill tenant run
     // concurrently (2:1 traffic split) as independent open-loop Poisson
     // streams; MixSource merges them by arrival and reassigns ids, so
     // the trace is one nondecreasing system-wide request stream.
     std::vector<std::unique_ptr<RequestSource>> tenants;
-    tenants.push_back(phaseSource(total_bytes / 3 * 2, "decode", 9));
-    tenants.push_back(phaseSource(total_bytes / 3, "prefill", 10));
+    tenants.push_back(phaseSource(total_bytes / 3 * 2, "decode", 9, bursty));
+    tenants.push_back(phaseSource(total_bytes / 3, "prefill", 10, bursty));
     return std::make_unique<MixSource>(std::move(tenants));
 }
 
@@ -136,11 +146,15 @@ doRecord(int argc, char** argv)
     const std::uint64_t mib =
         argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 4;
     const std::string phase = argc > 5 ? argv[5] : "decode";
-    const auto src = recordedSource(mib << 20, phase);
+    const bool bursty = argc > 6 && !std::strcmp(argv[6], "--bursty");
+    if (argc > 6 && !bursty)
+        usage();
+    const auto src = recordedSource(mib << 20, phase, bursty);
     const std::uint64_t n = recordTrace(*src, path, fmt);
-    std::printf("recorded %llu %s requests (%llu MiB of traffic) to %s "
+    std::printf("recorded %llu %s%s requests (%llu MiB of traffic) to %s "
                 "(%s)\n",
                 static_cast<unsigned long long>(n), phase.c_str(),
+                bursty ? " (bursty)" : "",
                 static_cast<unsigned long long>(mib), path.c_str(),
                 fmt == TraceFormat::Binary ? "binary" : "text");
     return 0;

@@ -117,6 +117,22 @@ class CommandGenerator
     /** Operations that fell back to scalar per-command lowering. */
     std::uint64_t templateFallbacks() const { return templateFallbacks_; }
 
+    /**
+     * Credit @p epochs steady-state epochs' worth of accounting without
+     * re-lowering the commands: the epoch fast-forward path applies the
+     * per-epoch counter deltas captured while the period was confirmed.
+     * Fast-forwarded operations are by construction template hits (a
+     * fallback resets the epoch detector).
+     */
+    void
+    advanceCounters(std::uint64_t row_cmds, std::uint64_t hits,
+                    std::uint64_t fallbacks, std::uint64_t epochs)
+    {
+        rowCmds_ += row_cmds * epochs;
+        templateHits_ += hits * epochs;
+        templateFallbacks_ += fallbacks * epochs;
+    }
+
   private:
     /** One op kind's fixed-offset sequence and its relative outcome. */
     struct OpTemplate

@@ -40,6 +40,7 @@
 #include "rome/rome_timing.h"
 #include "rome/vba.h"
 #include "sim/engine.h"
+#include "sim/epoch.h"
 
 namespace rome
 {
@@ -89,6 +90,14 @@ struct RomeMcConfig
      * this exists as the parity oracle and the bench baseline.
      */
     bool scalarLowering = false;
+    /**
+     * Detect periodic steady-state schedules and fast-forward whole
+     * epochs with cached deltas (sim/epoch.h). Stats, latency histograms
+     * and completions are bit-identical to the step-by-step path, which
+     * remains available as the parity oracle when this is off. Only the
+     * indexed scheduler memoizes; tracing disables it dynamically.
+     */
+    bool epochMemo = true;
 };
 
 /** How channel-local addresses map onto (VBA, SID, row) chunks. */
@@ -131,6 +140,10 @@ class RomeMc : public ChannelControllerBase
     int operateFsmHighWater() const { return opHighWater_; }
     /** Highest number of simultaneously refreshing VBAs observed. */
     int refreshFsmHighWater() const { return refHighWater_; }
+    /** Whole epochs replayed by the memoized fast path. */
+    std::uint64_t memoFastForwardedEpochs() const { return ffEpochs_; }
+    /** Scheduling steps skipped (replayed from cache) by fast-forwards. */
+    std::uint64_t memoFastForwardedSteps() const { return ffSteps_; }
 
     /** Table IV introspection. */
     McComplexity complexity() const override;
@@ -145,6 +158,8 @@ class RomeMc : public ChannelControllerBase
         std::uint64_t reqId;
         Tick arrival;
         std::uint64_t usefulBytes;
+        /** The op is its request's only one (completion fast path). */
+        bool singleOp = false;
     };
 
     /** An FSM slot tracking an in-flight row operation or refresh. */
@@ -169,6 +184,33 @@ class RomeMc : public ChannelControllerBase
     int busyCount(const std::vector<FsmSlot>& slots, Tick at) const;
     void retireSlots(Tick at);
     Tick nextRefreshDue() const;
+
+    // ---- epoch memoization (steady-state fast-forward) ------------------
+    /** Memoization applies: flag on, indexed scheduler, no tracing. */
+    bool
+    memoActive() const
+    {
+        return cfg_.epochMemo && !cfg_.legacyScheduler &&
+               !dev_.tracingEnabled();
+    }
+    /** Record one issued step with the detector; handles captures. */
+    void memoRecordIssue(Tick at, const CommandGenerator::RowOpResult& res,
+                         std::int64_t key, std::size_t queue_idx,
+                         std::uint32_t admitted, std::int32_t occupancy,
+                         bool is_write);
+    /** Boundary fingerprint of all schedule-relevant state. */
+    void memoCaptureFingerprint(std::vector<Tick>& fp) const;
+    /** Precompute the epoch's pop/requeue selection program. */
+    void memoBuildProgram();
+    /** Verify the next epoch's admissions against the canonical epoch
+     *  and stage their live row ops for replay. */
+    bool memoVerifyAndStageEpoch();
+    /** Advance the host buffer past @p count staged admissions. */
+    void memoConsumeAdmits(std::uint32_t count);
+    /** Replay one canonical epoch (decisions cached, requests live). */
+    void memoReplayEpoch();
+    /** Fast-forward whole epochs; returns scheduling steps replayed. */
+    std::uint64_t tryFastForward(Tick until);
 
     // ---- deadline-heap slot accounting (indexed scheduler) --------------
     int vbaKey(const VbaAddress& a) const
@@ -215,6 +257,34 @@ class RomeMc : public ChannelControllerBase
     std::uint64_t overfetch_ = 0;
     int opHighWater_ = 0;
     int refHighWater_ = 0;
+
+    /** Steady-state epoch detection and cached per-epoch deltas. */
+    EpochDetector memo_;
+    /**
+     * Replay program, built once per confirmation: the op popped at step
+     * i of any epoch is a fixed selection from the boundary queue
+     * (tag < memoBoundaryCount_) or the epoch's own admissions (tag -
+     * memoBoundaryCount_), and the next boundary queue is a fixed
+     * selection likewise. Replay then never mutates queue_ per step; the
+     * live queue is rebuilt once when fast-forwarding stops.
+     */
+    std::vector<std::int32_t> memoPopTag_;
+    std::vector<std::int32_t> memoNextTag_;
+    std::vector<std::int32_t> memoSim_;
+    std::vector<RowOp> memoBoundary_;
+    std::vector<RowOp> memoAdmitOps_;
+    std::vector<RowOp> memoScratchOps_;
+    std::int32_t memoBoundaryCount_ = 0;
+    DeviceCounterDelta devSnapshot_;
+    DeviceCounterDelta devEpochDelta_;
+    std::uint64_t genRowCmdsSnapshot_ = 0;
+    std::uint64_t genHitsSnapshot_ = 0;
+    std::uint64_t genFallbacksSnapshot_ = 0;
+    std::uint64_t genRowCmdsDelta_ = 0;
+    std::uint64_t genHitsDelta_ = 0;
+    std::uint64_t genFallbacksDelta_ = 0;
+    std::uint64_t ffEpochs_ = 0;
+    std::uint64_t ffSteps_ = 0;
 };
 
 } // namespace rome

@@ -106,8 +106,15 @@ ChannelControllerBase::enqueue(const Request& req)
     const std::uint64_t chunk = admissionChunkBytes();
     const std::uint64_t first = req.addr / chunk;
     const std::uint64_t last = (req.addr + req.size - 1) / chunk;
-    inflight_[req.id] = ReqState{req.arrival,
-                                 static_cast<int>(last - first + 1)};
+    if (first == last) {
+        // Single-operation request: it completes with its one op, so it
+        // needs no per-request progress entry — the hot completion path
+        // (noteSingleOpDone) skips the in-flight map entirely.
+        ++singleOpsPending_;
+    } else {
+        inflight_[req.id] = ReqState{req.arrival,
+                                     static_cast<int>(last - first + 1)};
+    }
     host_.push_back(req);
     hostPeak_ = std::max(hostPeak_, host_.size());
     // Keep the completion log's capacity ahead of everything enqueued so
@@ -183,6 +190,19 @@ ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
 }
 
 void
+ChannelControllerBase::noteSingleOpDone(std::uint64_t req_id, Tick arrival,
+                                        Tick data_end)
+{
+    --singleOpsPending_;
+    ++completedCount_;
+    if (retainCompletions_)
+        completions_.push_back(Completion{req_id, data_end});
+    const double lat_ns = nsFromTicks(data_end - arrival);
+    latencyNs_.sample(lat_ns);
+    latencyHistNs_.sample(lat_ns);
+}
+
+void
 ChannelControllerBase::runUntil(Tick until)
 {
     while (now_ < until) {
@@ -207,10 +227,11 @@ bool
 ChannelControllerBase::idle() const
 {
     // Every queued or outstanding operation belongs to an in-flight
-    // request, so an empty in-flight map implies empty op queues. A
-    // bound source with requests left means pending work even when the
-    // host window drained.
-    return host_.empty() && inflight_.empty() && sourceDone_;
+    // request (a map entry or a pending single-op), so no in-flight
+    // requests implies empty op queues. A bound source with requests left
+    // means pending work even when the host window drained.
+    return host_.empty() && inflight_.empty() && singleOpsPending_ == 0 &&
+           sourceDone_;
 }
 
 void

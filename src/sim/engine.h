@@ -275,6 +275,21 @@ class OutstandingOps
         return first;
     }
 
+    /**
+     * Backing storage, exposed for the epoch-memoization layer: a
+     * fast-forward fingerprints the entry multiset at an epoch boundary
+     * and rolls every entry forward by whole periods. A uniform shift
+     * preserves the heap property, so shiftAll never reorders.
+     */
+    const std::vector<Tick>& rawEntries() const { return heap_; }
+
+    void
+    shiftAll(Tick delta)
+    {
+        for (Tick& t : heap_)
+            t += delta;
+    }
+
   private:
     std::vector<Tick> heap_; ///< min-heap on release tick
 };
@@ -381,8 +396,32 @@ class ChannelControllerBase : public IMemoryController
      */
     void noteOpDone(std::uint64_t req_id, Tick data_end);
 
+    /**
+     * Completion fast path for a request that decomposed into exactly one
+     * operation (the caller knows from its admission-time chunking, and
+     * carries the arrival tick in the op): no in-flight map traffic.
+     */
+    void noteSingleOpDone(std::uint64_t req_id, Tick arrival,
+                          Tick data_end);
+
     /** Fill the base-owned fields of @p s (bytes, latency, bandwidth). */
     void fillBaseStats(ControllerStats& s) const;
+
+    /**
+     * Top the host window up from the bound source (no-op when none is
+     * bound). The epoch-memoization replay path admits recorded per-step
+     * counts directly instead of going through pumpArrivals, so it needs
+     * the refill half of the pump on its own.
+     */
+    void
+    refillIfBound()
+    {
+        if (source_ != nullptr)
+            refillFromSource();
+    }
+
+    /** True when no bound source remains (or none was ever bound). */
+    bool sourceDrained() const { return sourceDone_; }
 
     Tick now_ = 0;
     std::deque<Request> host_;
@@ -408,6 +447,8 @@ class ChannelControllerBase : public IMemoryController
     std::size_t sourceWindow_ = 8;
     std::size_t hostPeak_ = 0;
     std::uint64_t completedCount_ = 0;
+    /** In-flight single-operation requests (kept out of inflight_). */
+    std::uint64_t singleOpsPending_ = 0;
     bool retainCompletions_ = true;
 };
 

@@ -1,0 +1,253 @@
+#include "sim/epoch.h"
+
+#include "common/log.h"
+
+namespace rome
+{
+
+EpochDetector::EpochDetector(std::size_t capacity,
+                             std::size_t check_interval,
+                             std::size_t min_evidence)
+    : checkInterval_(check_interval), minEvidence_(min_evidence)
+{
+    if (capacity < 4)
+        fatal("epoch detector ring must hold at least 4 steps");
+    if (check_interval == 0)
+        fatal("epoch detector needs a positive check interval");
+    ring_.resize(capacity);
+    // Steady-state admission roughly tracks issue rate; four slots per
+    // step absorbs the densest recorded windows without reallocating.
+    admits_.resize(capacity * 4);
+    pending_.reserve(256);
+    canonicalSteps_.reserve(capacity);
+    canonicalAdmits_.reserve(capacity * 4);
+    admitStart_.reserve(capacity);
+    fpFirst_.reserve(4096);
+    fpSecond_.reserve(4096);
+}
+
+void
+EpochDetector::reset()
+{
+    count_ = 0;
+    admitCount_ = 0;
+    sinceCheck_ = 0;
+    overflow_ = false;
+    phase_ = Phase::Fill;
+    pending_.clear();
+}
+
+std::size_t
+EpochDetector::findPeriod() const
+{
+    // A short local repetition (e.g. the CAS run between two row
+    // switches of a conventional bank) can produce two identical tiny
+    // windows without being the schedule's true period, and a failed
+    // confirmation costs a full re-fill. When the caller set an evidence
+    // floor, small candidates must hold over that longer recorded tail
+    // before confirmation is attempted.
+    const std::uint64_t n = count_;
+    const std::uint64_t in_ring = n < ring_.size() ? n : ring_.size();
+    const std::uint64_t max_p = in_ring / 2;
+    const RingStep& last = ringAt(n - 1);
+    for (std::uint64_t p = 1; p <= max_p; ++p) {
+        // Cheap prefilter: the newest step must match its predecessor one
+        // period back before the full evidence scan is worth running.
+        const RingStep& prev = ringAt(n - 1 - p);
+        if (!last.s.matches(prev.s))
+            continue;
+        const Tick period = last.s.tick - prev.s.tick;
+        if (period <= 0)
+            continue;
+        const std::uint64_t evidence = p > minEvidence_ ? p : minEvidence_;
+        if (evidence + p > in_ring)
+            continue;
+        // Every admit the scanned tail references must still be live in
+        // the admit ring.
+        const std::uint64_t oldest_admit =
+            ringAt(n - evidence - p).admitPos;
+        if (admitCount_ - oldest_admit > admits_.size())
+            continue;
+        bool ok = true;
+        for (std::uint64_t i = n - evidence; ok && i < n; ++i) {
+            const RingStep& a = ringAt(i - p);
+            const RingStep& b = ringAt(i);
+            if (!b.s.matches(a.s) || b.s.tick - a.s.tick != period ||
+                b.s.dataUntil - a.s.dataUntil != period) {
+                ok = false;
+                break;
+            }
+            for (std::uint32_t j = 0; j < a.s.admitCount; ++j) {
+                const Admit& x = admitAt(a.admitPos + j);
+                const Admit& y = admitAt(b.admitPos + j);
+                if (x.target != y.target || x.isWrite != y.isWrite ||
+                    x.arrival != y.arrival) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (ok)
+            return static_cast<std::size_t>(p);
+    }
+    return 0;
+}
+
+bool
+EpochDetector::buildCanonical(std::size_t p)
+{
+    const std::uint64_t n = count_;
+    const Tick anchor = ringAt(n - 1).s.tick;
+    const Tick period = anchor - ringAt(n - 1 - p).s.tick;
+    const Tick base = anchor - period;
+
+    canonicalSteps_.clear();
+    canonicalAdmits_.clear();
+    admitStart_.clear();
+    staleArrival_ = kTickInvalid;
+    for (std::uint64_t i = n - p; i < n; ++i) {
+        const RingStep& r = ringAt(i);
+        Step s = r.s;
+        s.tick -= base;
+        s.dataUntil -= base;
+        admitStart_.push_back(
+            static_cast<std::uint32_t>(canonicalAdmits_.size()));
+        for (std::uint32_t j = 0; j < r.s.admitCount; ++j) {
+            const Admit& a = admitAt(r.admitPos + j);
+            // Stale-uniform arrival model: one common arrival tick that
+            // predates the whole epoch. Anything else (an open-loop ramp,
+            // a burst edge) makes age tie-breaks time-dependent, so the
+            // epoch is not safely replayable.
+            if (a.arrival > base)
+                return false;
+            if (staleArrival_ == kTickInvalid)
+                staleArrival_ = a.arrival;
+            else if (a.arrival != staleArrival_)
+                return false;
+            canonicalAdmits_.push_back(a);
+        }
+        canonicalSteps_.push_back(s);
+    }
+    period_ = period;
+    confirmBase_ = anchor;
+    return true;
+}
+
+bool
+EpochDetector::matchesCanonical(const Step& s, std::size_t pos,
+                                Tick base) const
+{
+    const Step& c = canonicalSteps_[pos];
+    if (!s.matches(c) || s.tick != base + c.tick ||
+        s.dataUntil != base + c.dataUntil) {
+        return false;
+    }
+    return admitsMatch(pos);
+}
+
+bool
+EpochDetector::admitsMatch(std::size_t pos) const
+{
+    const Step& c = canonicalSteps_[pos];
+    if (pending_.size() != c.admitCount)
+        return false;
+    const std::uint32_t start = admitStart_[pos];
+    for (std::uint32_t j = 0; j < c.admitCount; ++j) {
+        const Admit& x = canonicalAdmits_[start + j];
+        const Admit& y = pending_[j];
+        if (x.target != y.target || x.isWrite != y.isWrite ||
+            y.arrival != staleArrival_) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+EpochDetector::admitsMatchReady() const
+{
+    return phase_ == Phase::Ready && !overflow_ && admitsMatch(readyPos_);
+}
+
+EpochDetector::Event
+EpochDetector::recordStep(const Step& s)
+{
+    if (overflow_ || pending_.size() != s.admitCount) {
+        // Admission burst beyond the recording capacity, or a controller
+        // bookkeeping mismatch: not a steady state worth memoizing.
+        reset();
+        return Event::None;
+    }
+
+    switch (phase_) {
+      case Phase::Fill: {
+        RingStep& slot =
+            ring_[static_cast<std::size_t>(count_ % ring_.size())];
+        slot.s = s;
+        slot.admitPos = admitCount_;
+        for (const Admit& a : pending_) {
+            admits_[static_cast<std::size_t>(admitCount_ %
+                                             admits_.size())] = a;
+            ++admitCount_;
+        }
+        ++count_;
+        pending_.clear();
+        if (++sinceCheck_ >= checkInterval_ && count_ >= 2) {
+            sinceCheck_ = 0;
+            const std::size_t p = findPeriod();
+            if (p != 0 && buildCanonical(p)) {
+                phase_ = Phase::Confirm;
+                confirmPos_ = 0;
+                return Event::CaptureFirst;
+            }
+        }
+        return Event::None;
+      }
+
+      case Phase::Confirm: {
+        const bool ok = matchesCanonical(s, confirmPos_, confirmBase_);
+        pending_.clear();
+        if (!ok) {
+            reset();
+            return Event::None;
+        }
+        if (++confirmPos_ == canonicalSteps_.size())
+            return Event::CaptureSecond;
+        return Event::None;
+      }
+
+      case Phase::Ready: {
+        // Tracked step-by-step execution inside a Ready epoch (e.g. a
+        // runUntil boundary landed mid-epoch): keep the boundary phase
+        // aligned so fast-forwarding can resume at the next boundary.
+        const bool ok = matchesCanonical(s, readyPos_, epochBase_);
+        pending_.clear();
+        if (!ok) {
+            reset();
+            return Event::None;
+        }
+        if (++readyPos_ == canonicalSteps_.size()) {
+            readyPos_ = 0;
+            epochBase_ += period_;
+        }
+        return Event::None;
+      }
+    }
+    return Event::None;
+}
+
+bool
+EpochDetector::finalizeConfirmation()
+{
+    if (phase_ != Phase::Confirm || fpFirst_.empty() ||
+        fpFirst_ != fpSecond_) {
+        reset();
+        return false;
+    }
+    phase_ = Phase::Ready;
+    readyPos_ = 0;
+    epochBase_ = confirmBase_ + period_;
+    return true;
+}
+
+} // namespace rome

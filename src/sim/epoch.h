@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Steady-state epoch detection for the memoizing controller fast path.
+ *
+ * Long decode traces and near-saturation serving points drive a channel
+ * into a regime where the scheduler replays the same decision sequence
+ * with the same inter-issue gaps forever (the predetermined steady state
+ * of RoMe §IV-C). The EpochDetector watches the per-step decision stream
+ * of one controller and recognizes that regime:
+ *
+ *  - Fill:    every scheduling step is recorded into a bounded ring
+ *             (issue tick, decision target, chosen queue slot, occupancy,
+ *             admissions). Periodically the ring tail is scanned for a
+ *             period p such that the last two p-step windows are
+ *             identical step-for-step, with a constant tick span P.
+ *  - Confirm: a candidate period must then reproduce itself live: the
+ *             next p steps have to match the canonical epoch exactly
+ *             (fields and tick offsets). The controller fingerprints its
+ *             full scheduling state (queue, in-flight heaps, device
+ *             timing records) at both bounding epoch boundaries; the
+ *             fingerprints must be equal, which proves the boundary state
+ *             is periodic modulo a uniform time shift.
+ *  - Ready:   the controller may now replay epochs without re-deriving
+ *             any decision. Two replay modes exist: the RoMe stack
+ *             fast-forwards whole epochs at once, applying cached
+ *             per-epoch deltas and shifting all timing state by K*P at
+ *             the end (RomeMc::tryFastForward); the conventional stack
+ *             replays step-by-step with concrete state updates but
+ *             elides the candidate search, re-verifying the boundary
+ *             fingerprint every epoch (ConventionalMc::memoReplayStep).
+ *             Any deviation — a refresh firing, an idle advance, an
+ *             arrival that breaks the pattern — resets the detector to
+ *             Fill. A runUntil clamp is NOT a deviation: the interrupted
+ *             step is retried verbatim, its already-recorded admissions
+ *             stay pending across the seam.
+ *
+ * The detector is deliberately controller-agnostic: targets and queue
+ * indices are opaque integers, fingerprints are caller-filled Tick
+ * vectors. Both the RoMe and the conventional stack reuse it.
+ *
+ * Arrival model: only the stale-uniform case is fast-forwardable — every
+ * request in the queue and every upcoming admission carries one common
+ * arrival tick that predates the epoch window. This is exactly the
+ * saturated steady state (pre-enqueued benches, deep backlogs); it makes
+ * the schedulers' age tie-breaks constant, so replaying recorded queue
+ * positions is sound. Mixed or advancing arrivals keep the detector in
+ * Fill and the controller on the step-by-step path.
+ *
+ * All buffers are preallocated at construction: recording, confirming and
+ * tracking never touch the allocator, preserving the controllers'
+ * 0-alloc/step steady-state property.
+ */
+
+#ifndef ROME_SIM_EPOCH_H
+#define ROME_SIM_EPOCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rome
+{
+
+class EpochDetector
+{
+  public:
+    /**
+     * One scheduling step's decision record. While recording, tick /
+     * dataUntil are absolute; in the canonical epoch they are offsets
+     * from the epoch base, in (0, P] for tick.
+     */
+    struct Step
+    {
+        Tick tick = 0;
+        /** Data-transfer end of the issued op (absolute / offset). */
+        Tick dataUntil = 0;
+        /** Scheduler-defined decision target (RoMe: VBA key). */
+        std::int64_t target = 0;
+        /** Chosen queue / list position. */
+        std::int32_t queueIdx = 0;
+        /** Outstanding-entry count at admission time. */
+        std::int32_t occupancy = 0;
+        /** Device bytes moved by the op (overfetch accounting). */
+        std::uint32_t resBytes = 0;
+        /** Operations admitted by this step's arrival pump. */
+        std::uint32_t admitCount = 0;
+        /** Scheduler-defined action code. */
+        std::uint16_t kind = 0;
+        bool isWrite = false;
+
+        /** Equality of everything except the absolute tick fields. */
+        bool
+        matches(const Step& o) const
+        {
+            return target == o.target && queueIdx == o.queueIdx &&
+                   occupancy == o.occupancy && resBytes == o.resBytes &&
+                   admitCount == o.admitCount && kind == o.kind &&
+                   isWrite == o.isWrite;
+        }
+    };
+
+    /** One admitted queue operation (recorded by the arrival pump). */
+    struct Admit
+    {
+        std::int64_t target = 0;
+        Tick arrival = 0;
+        bool isWrite = false;
+    };
+
+    enum class Phase
+    {
+        Fill,
+        Confirm,
+        Ready,
+    };
+
+    /** What the controller must do after a recordStep call. */
+    enum class Event
+    {
+        None,
+        /** Period candidate found: snapshot counters and fill
+         *  fingerprintFirst() with the boundary state. */
+        CaptureFirst,
+        /** Confirm epoch completed: compute per-epoch counter deltas,
+         *  fill fingerprintSecond(), then call finalizeConfirmation(). */
+        CaptureSecond,
+    };
+
+    /**
+     * @param capacity      Ring size; bounds the detectable period to
+     *                      capacity / 2 steps.
+     * @param check_interval Steps between period-scan attempts in Fill.
+     * @param min_evidence  Floor on the trailing-window length a period
+     *                      candidate must hold over before confirmation
+     *                      is attempted (the window is never shorter than
+     *                      the candidate itself). Raise it for schedules
+     *                      with short local repetitions — e.g. the CAS
+     *                      run between two row switches of a conventional
+     *                      bank — that would otherwise produce false
+     *                      periods and confirmation thrash. Keep it at 0
+     *                      when the true period is short: a larger floor
+     *                      also demands a longer perturbation-free
+     *                      window, which a runUntil-sliced run may never
+     *                      provide (each seam can shift one step's
+     *                      occupancy).
+     */
+    explicit EpochDetector(std::size_t capacity = 2048,
+                           std::size_t check_interval = 64,
+                           std::size_t min_evidence = 0);
+
+    Phase phase() const { return phase_; }
+    bool ready() const { return phase_ == Phase::Ready; }
+
+    /** True when a fast-forward may start: Ready, at an epoch boundary,
+     *  with no admissions carried over from a clamped step. */
+    bool
+    atBoundary() const
+    {
+        return ready() && readyPos_ == 0 && pending_.empty();
+    }
+
+    /** Record one admitted operation (before the step that admitted it). */
+    void
+    recordAdmit(std::int64_t target, bool is_write, Tick arrival)
+    {
+        if (pending_.size() < pending_.capacity())
+            pending_.push_back(Admit{target, arrival, is_write});
+        else
+            overflow_ = true; // burst beyond any steady state: poison
+    }
+
+    /**
+     * Admissions recorded but not yet folded into a step. A runUntil
+     * clamp retries the interrupted step verbatim on the next call, so
+     * its admissions stay pending across the seam and the retried step
+     * must report them as its own admit count.
+     */
+    std::uint32_t
+    pendingAdmits() const
+    {
+        return static_cast<std::uint32_t>(pending_.size());
+    }
+
+    /** Record one completed scheduling step. */
+    Event recordStep(const Step& s);
+
+    /** Aperiodic event (refresh, idle advance, drain boundary). */
+    void reset();
+
+    // ---- confirmation plumbing ------------------------------------------
+
+    /** Cleared buffer for the first boundary fingerprint. */
+    std::vector<Tick>&
+    fingerprintFirst()
+    {
+        fpFirst_.clear();
+        return fpFirst_;
+    }
+
+    /** Cleared buffer for the second boundary fingerprint. */
+    std::vector<Tick>&
+    fingerprintSecond()
+    {
+        fpSecond_.clear();
+        return fpSecond_;
+    }
+
+    /**
+     * Compare the two boundary fingerprints; on a match the detector
+     * becomes Ready with the confirm epoch as the canonical epoch, else
+     * it resets. Returns true when Ready.
+     */
+    bool finalizeConfirmation();
+
+    // ---- Ready-phase accessors (valid once ready()) ----------------------
+
+    /** Tick span of one epoch. */
+    Tick period() const { return period_; }
+
+    /** Canonical position the next Ready-phase step must match. */
+    std::size_t readyPos() const { return readyPos_; }
+
+    /**
+     * True when the pending admits match the canonical step at readyPos —
+     * the pre-issue half of Ready tracking. A decision-replaying
+     * controller checks this (plus the canonical step's occupancy
+     * signature) before committing to the cached decision; recordStep
+     * then verifies the issued result post-hoc as usual.
+     */
+    bool admitsMatchReady() const;
+
+    std::size_t stepsPerEpoch() const { return canonicalSteps_.size(); }
+
+    /** Boundary tick the next epoch replay starts from. */
+    Tick epochBase() const { return epochBase_; }
+
+    /** Canonical epoch decisions; ticks relative to the epoch base. */
+    const std::vector<Step>& epochSteps() const { return canonicalSteps_; }
+
+    /** Canonical admissions, in admission order across the epoch. */
+    const std::vector<Admit>& epochAdmits() const { return canonicalAdmits_; }
+
+    /** The one arrival tick all steady-state requests carry
+     *  (kTickInvalid when the canonical epoch admitted nothing). */
+    Tick staleArrival() const { return staleArrival_; }
+
+    /** Advance the boundary after replaying @p epochs whole epochs. */
+    void advanceEpochs(std::uint64_t epochs)
+    {
+        epochBase_ += static_cast<Tick>(epochs) * period_;
+    }
+
+  private:
+    struct RingStep
+    {
+        Step s;
+        /** Monotone admit-stream position of this step's first admit. */
+        std::uint64_t admitPos = 0;
+    };
+
+    const RingStep&
+    ringAt(std::uint64_t logical) const
+    {
+        return ring_[static_cast<std::size_t>(logical % ring_.size())];
+    }
+
+    const Admit&
+    admitAt(std::uint64_t logical) const
+    {
+        return admits_[static_cast<std::size_t>(logical % admits_.size())];
+    }
+
+    /** Smallest period whose last two windows match; 0 when none. */
+    std::size_t findPeriod() const;
+
+    /** Pending admits against canonical position @p pos. */
+    bool admitsMatch(std::size_t pos) const;
+
+    /** Freeze the ring tail as the canonical epoch; false when the
+     *  admission stream violates the stale-uniform arrival model. */
+    bool buildCanonical(std::size_t p);
+
+    /** Match a live step (and its pending admits) against canonical
+     *  position @p pos with epoch base @p base. */
+    bool matchesCanonical(const Step& s, std::size_t pos, Tick base) const;
+
+    std::vector<RingStep> ring_;
+    std::vector<Admit> admits_;
+    std::vector<Admit> pending_;
+    std::uint64_t count_ = 0;      ///< steps ever recorded since reset
+    std::uint64_t admitCount_ = 0; ///< admits ever recorded since reset
+    std::size_t sinceCheck_ = 0;
+    std::size_t checkInterval_;
+    std::size_t minEvidence_;
+    bool overflow_ = false;
+
+    Phase phase_ = Phase::Fill;
+    Tick period_ = 0;
+    Tick confirmBase_ = 0;
+    Tick epochBase_ = 0;
+    Tick staleArrival_ = kTickInvalid;
+    std::size_t confirmPos_ = 0;
+    std::size_t readyPos_ = 0;
+    std::vector<Step> canonicalSteps_;
+    std::vector<Admit> canonicalAdmits_;
+    /** Prefix sums: canonical admit index where step i's admits start. */
+    std::vector<std::uint32_t> admitStart_;
+    std::vector<Tick> fpFirst_;
+    std::vector<Tick> fpSecond_;
+};
+
+} // namespace rome
+
+#endif // ROME_SIM_EPOCH_H

@@ -370,6 +370,40 @@ TakeSource::rewind()
 }
 
 // ---------------------------------------------------------------------------
+// SkipSource
+// ---------------------------------------------------------------------------
+
+SkipSource::SkipSource(std::unique_ptr<RequestSource> inner,
+                       std::uint64_t count)
+    : inner_(std::move(inner)), count_(count)
+{
+    if (!inner_)
+        fatal("skip source needs an inner source");
+}
+
+bool
+SkipSource::produce(Request& out)
+{
+    if (!skipped_) {
+        // Lazy head trim: the prefix is consumed on the first pull, so
+        // constructing the combinator stays O(1) even on huge traces.
+        skipped_ = true;
+        for (std::uint64_t i = 0; i < count_; ++i) {
+            if (!inner_->next(out))
+                return false;
+        }
+    }
+    return inner_->next(out);
+}
+
+void
+SkipSource::rewind()
+{
+    inner_->reset();
+    skipped_ = false;
+}
+
+// ---------------------------------------------------------------------------
 // ShardSource
 // ---------------------------------------------------------------------------
 

@@ -367,6 +367,28 @@ class TakeSource final : public RequestSource
 };
 
 /**
+ * Drops the first @p count requests of the inner source and passes the
+ * rest through unchanged (ids and arrival ticks included). The head-trim
+ * mirror of TakeSource: chaining Skip(n) and Take(m) carves an arbitrary
+ * window out of a long recorded trace — e.g. skipping a prefill warm-up
+ * to measure the steady decode tail — without re-recording it.
+ */
+class SkipSource final : public RequestSource
+{
+  public:
+    SkipSource(std::unique_ptr<RequestSource> inner, std::uint64_t count);
+
+  protected:
+    bool produce(Request& out) override;
+    void rewind() override;
+
+  private:
+    std::unique_ptr<RequestSource> inner_;
+    std::uint64_t count_;
+    bool skipped_ = false;
+};
+
+/**
  * One channel's shard of a system-wide stream: yields only the requests
  * assigned to @p shard of @p num_shards. With stripe_bytes == 0 requests
  * are dealt round-robin by index; otherwise the request's address stripe

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Epoch-memoization tests (sim/epoch.h + the controllers' fast-forward
+ * paths): the memoized run must be bit-identical — ControllerStats
+ * operator==, which includes the latency histogram — to the step-by-step
+ * oracle (epochMemo = false) on every workload, and must actually engage
+ * (fast-forward whole epochs) on steady-state configurations.
+ *
+ * A counting global allocator verifies that steady-state fast-forwarding
+ * never touches the heap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "dram/hbm4_config.h"
+#include "mc/mc.h"
+#include "rome/rome_mc.h"
+#include "sim/workloads.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator (same recipe as bench_sched_hotpath): every
+// operator-new bumps g_allocs, so a steady window with zero delta proves
+// the fast-forward loop is allocation-free.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void*
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace rome
+{
+namespace
+{
+
+using namespace rome::literals;
+
+RomeMcConfig
+romeCfg(bool memo, bool refresh = false, int depth = 64)
+{
+    RomeMcConfig c;
+    c.epochMemo = memo;
+    c.refreshEnabled = refresh;
+    c.queueDepth = depth;
+    return c;
+}
+
+void
+streamReads(RomeMc& mc, std::uint64_t total, std::uint64_t chunk)
+{
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < total; off += chunk)
+        mc.enqueue({id++, ReqKind::Read, off, chunk, 0});
+}
+
+ControllerStats
+drainStats(RomeMc& mc, std::uint64_t total)
+{
+    streamReads(mc, total, 4_KiB);
+    mc.drain();
+    return mc.stats();
+}
+
+// ---------------------------------------------------------------------------
+// Engagement: the steady-state decode shape (pre-enqueued 4 KiB stream,
+// deep queue, no refresh) must be detected and fast-forwarded.
+// ---------------------------------------------------------------------------
+
+TEST(RomeEpochMemo, EngagesOnSteadyStream)
+{
+    RomeMc mc(hbm4Config(), VbaDesign::adopted(), romeCfg(true));
+    const ControllerStats s = drainStats(mc, 32_MiB);
+    EXPECT_EQ(s.bytesRead, 32_MiB);
+    EXPECT_GT(mc.memoFastForwardedEpochs(), 10u);
+    // The bulk of the run must be replayed, not stepped.
+    EXPECT_GT(mc.memoFastForwardedSteps(),
+              mc.stepsExecuted() * 8 / 10);
+}
+
+TEST(RomeEpochMemo, OracleFlagDisablesTheFastPath)
+{
+    RomeMc mc(hbm4Config(), VbaDesign::adopted(), romeCfg(false));
+    drainStats(mc, 2_MiB);
+    EXPECT_EQ(mc.memoFastForwardedEpochs(), 0u);
+    EXPECT_EQ(mc.memoFastForwardedSteps(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against the step-by-step oracle.
+// ---------------------------------------------------------------------------
+
+TEST(RomeEpochMemo, BitIdenticalAcrossVbaDesigns)
+{
+    for (const auto& d : VbaDesign::all()) {
+        RomeMc memo(hbm4Config(), d, romeCfg(true));
+        RomeMc oracle(hbm4Config(), d, romeCfg(false));
+        const ControllerStats a = drainStats(memo, 4_MiB);
+        const ControllerStats b = drainStats(oracle, 4_MiB);
+        EXPECT_TRUE(a == b) << d.name();
+    }
+}
+
+TEST(RomeEpochMemo, BitIdenticalAcrossMapOrders)
+{
+    for (const RomeMapOrder order :
+         {RomeMapOrder::VbaSidRow, RomeMapOrder::SidVbaRow,
+          RomeMapOrder::RowVbaSid}) {
+        RomeMc memo(hbm4Config(), VbaDesign::adopted(), romeCfg(true),
+                    order);
+        RomeMc oracle(hbm4Config(), VbaDesign::adopted(), romeCfg(false),
+                      order);
+        EXPECT_TRUE(drainStats(memo, 2_MiB) == drainStats(oracle, 2_MiB))
+            << static_cast<int>(order);
+    }
+}
+
+TEST(RomeEpochMemo, BitIdenticalWithMixedWrites)
+{
+    // Deterministic read/write interleave. The same-SID gap preference
+    // stretches the schedule's super-period beyond the detector window
+    // here, so memoization stays inert — the run must still be
+    // bit-identical to the oracle.
+    auto fill = [](RomeMc& mc) {
+        std::uint64_t id = 1;
+        for (std::uint64_t off = 0; off < 4_MiB; off += 4_KiB) {
+            const bool wr = (off / 4_KiB) % 4 == 3;
+            mc.enqueue({id++, wr ? ReqKind::Write : ReqKind::Read, off,
+                        4_KiB, 0});
+        }
+    };
+    RomeMc memo(hbm4Config(), VbaDesign::adopted(), romeCfg(true));
+    RomeMc oracle(hbm4Config(), VbaDesign::adopted(), romeCfg(false));
+    fill(memo);
+    fill(oracle);
+    memo.drain();
+    oracle.drain();
+    EXPECT_TRUE(memo.stats() == oracle.stats());
+}
+
+TEST(RomeEpochMemo, BitIdenticalUnderRandomTraffic)
+{
+    RandomPattern p;
+    p.totalBytes = 1_MiB;
+    p.requestBytes = 4_KiB;
+    p.capacity = hbm4Config().org.channelCapacity();
+    p.writeFraction = 0.3;
+    p.seed = 33;
+    const auto reqs = randomRequests(p);
+
+    RomeMc memo(hbm4Config(), VbaDesign::adopted(), romeCfg(true, true));
+    RomeMc oracle(hbm4Config(), VbaDesign::adopted(), romeCfg(false, true));
+    EXPECT_TRUE(runWorkload(memo, reqs) == runWorkload(oracle, reqs));
+}
+
+// ---------------------------------------------------------------------------
+// Fallback correctness: aperiodic events must bound the fast-forward and
+// leave behavior unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(RomeEpochMemo, RefreshBoundsTheFastForward)
+{
+    // With the default refresh cadence the inter-refresh gap is shorter
+    // than the detector needs, so memoization must simply stay inert…
+    {
+        RomeMc memo(hbm4Config(), VbaDesign::adopted(),
+                    romeCfg(true, true));
+        RomeMc oracle(hbm4Config(), VbaDesign::adopted(),
+                      romeCfg(false, true));
+        EXPECT_TRUE(drainStats(memo, 2_MiB) == drainStats(oracle, 2_MiB));
+    }
+    // …while a long-tREFI part refreshes rarely enough that whole epochs
+    // fit between refreshes: the fast-forward must engage, stop at every
+    // refresh due tick, and stay bit-identical.
+    DramConfig lazy = hbm4Config();
+    lazy.timing.tREFIbank *= 1000;
+    RomeMc memo(lazy, VbaDesign::adopted(), romeCfg(true, true));
+    RomeMc oracle(lazy, VbaDesign::adopted(), romeCfg(false, true));
+    const ControllerStats a = drainStats(memo, 16_MiB);
+    const ControllerStats b = drainStats(oracle, 16_MiB);
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.refPbs, 0u); // refreshes really happened
+    EXPECT_GT(memo.memoFastForwardedEpochs(), 0u);
+}
+
+TEST(RomeEpochMemo, RunUntilSeamsStayIdentical)
+{
+    // Chopping the run into arbitrary runUntil slices lands clamps in the
+    // middle of epochs. A clamp with an empty pump keeps the detector
+    // alive (the step is retried verbatim), so detection spans seams and
+    // fast-forwards still fire inside slices — and the stats must not
+    // move either way.
+    RomeMc memo(hbm4Config(), VbaDesign::adopted(), romeCfg(true));
+    RomeMc oracle(hbm4Config(), VbaDesign::adopted(), romeCfg(false));
+    streamReads(memo, 16_MiB, 4_KiB);
+    streamReads(oracle, 16_MiB, 4_KiB);
+    Tick at = 0;
+    // Prime-sized slices so the seams drift across epoch phases.
+    for (int i = 0; i < 40; ++i) {
+        at += 17_us + static_cast<Tick>(i) * 13;
+        memo.runUntil(at);
+    }
+    memo.drain();
+    oracle.drain();
+    EXPECT_TRUE(memo.stats() == oracle.stats());
+    EXPECT_GT(memo.memoFastForwardedEpochs(), 0u);
+}
+
+TEST(RomeEpochMemo, MidRunArrivalsResetTheDetector)
+{
+    // New work arriving mid-run (fresh, non-stale arrival ticks) must
+    // bound the fast-forward and replay exactly like the oracle.
+    auto run = [](bool memo_on) {
+        RomeMc mc(hbm4Config(), VbaDesign::adopted(), romeCfg(memo_on));
+        streamReads(mc, 2_MiB, 4_KiB);
+        mc.runUntil(8_us);
+        std::uint64_t id = 100000;
+        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
+            mc.enqueue({id++, ReqKind::Read, 2_MiB + off, 4_KiB, 8_us});
+        mc.drain();
+        return mc.stats();
+    };
+    EXPECT_TRUE(run(true) == run(false));
+}
+
+TEST(RomeEpochMemo, StaggeredArrivalsAreNotMemoized)
+{
+    // Advancing arrivals violate the stale-uniform model: the detector
+    // must decline (age tie-breaks would be time-dependent), and the run
+    // must still match the oracle.
+    auto run = [](bool memo_on) {
+        RomeMc mc(hbm4Config(), VbaDesign::adopted(), romeCfg(memo_on));
+        std::uint64_t id = 1;
+        Tick arrival = 0;
+        for (std::uint64_t off = 0; off < 2_MiB; off += 4_KiB) {
+            mc.enqueue({id++, ReqKind::Read, off, 4_KiB, arrival});
+            arrival += 3; // slower than the service rate: backlog grows
+        }
+        mc.drain();
+        return mc;
+    };
+    RomeMc memo = run(true);
+    RomeMc oracle = run(false);
+    EXPECT_TRUE(memo.stats() == oracle.stats());
+    EXPECT_EQ(memo.memoFastForwardedEpochs(), 0u);
+}
+
+TEST(RomeEpochMemo, LegacySchedulerIgnoresTheFlag)
+{
+    RomeMcConfig cfg = romeCfg(true);
+    cfg.legacyScheduler = true;
+    RomeMc mc(hbm4Config(), VbaDesign::adopted(), cfg);
+    drainStats(mc, 1_MiB);
+    EXPECT_EQ(mc.memoFastForwardedEpochs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation probe: once the detector is Ready, verifying,
+// replaying and rolling state forward never allocate.
+// ---------------------------------------------------------------------------
+
+TEST(RomeEpochMemo, FastForwardIsAllocationFree)
+{
+    RomeMc mc(hbm4Config(), VbaDesign::adopted(), romeCfg(true));
+    streamReads(mc, 64_MiB, 4_KiB);
+    mc.runUntil(200_us); // warm-up: detect, confirm, settle capacities
+    ASSERT_GT(mc.memoFastForwardedEpochs(), 0u)
+        << "fast-forward never engaged; probe window is meaningless";
+    const std::uint64_t steps0 = mc.stepsExecuted();
+    const std::uint64_t allocs0 = g_allocs.load();
+    mc.runUntil(600_us);
+    const std::uint64_t window_steps = mc.stepsExecuted() - steps0;
+    const std::uint64_t window_allocs = g_allocs.load() - allocs0;
+    EXPECT_GT(window_steps, 1000u);
+    EXPECT_EQ(window_allocs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conventional stack: the column-granularity controller replays steady
+// epochs step-by-step (eliding the candidate search) instead of
+// fast-forwarding, so state stays concrete and stats must be bit-identical
+// by construction — which these tests still assert against the oracle.
+// ---------------------------------------------------------------------------
+
+McConfig
+convCfg(bool memo, bool refresh = false)
+{
+    McConfig c;
+    c.epochMemo = memo;
+    c.refreshEnabled = refresh;
+    return c;
+}
+
+ConventionalMc
+makeConv(const McConfig& cfg)
+{
+    const DramConfig dram = hbm4Config();
+    return ConventionalMc(dram, bestBaselineMapping(dram.org), cfg);
+}
+
+void
+streamReads(ConventionalMc& mc, std::uint64_t total, std::uint64_t chunk)
+{
+    std::uint64_t id = 1;
+    for (std::uint64_t off = 0; off < total; off += chunk)
+        mc.enqueue({id++, ReqKind::Read, off, chunk, 0});
+}
+
+TEST(ConvEpochMemo, EngagesOnSteadyStream)
+{
+    // The baseline mapping's streaming epoch is a full bank rotation of
+    // row slices (~4.4k scheduling steps), detected after ~3 epochs; the
+    // bulk of an 8 MiB stream must then run on the replay path.
+    auto mc = makeConv(convCfg(true));
+    streamReads(mc, 8_MiB, 4_KiB);
+    mc.drain();
+    EXPECT_EQ(mc.stats().bytesRead, 8_MiB);
+    EXPECT_GT(mc.memoFastForwardedEpochs(), 10u);
+    EXPECT_GT(mc.memoFastForwardedSteps(), mc.stepsExecuted() / 2);
+}
+
+TEST(ConvEpochMemo, OracleFlagDisablesTheFastPath)
+{
+    auto mc = makeConv(convCfg(false));
+    streamReads(mc, 2_MiB, 4_KiB);
+    mc.drain();
+    EXPECT_EQ(mc.memoFastForwardedEpochs(), 0u);
+    EXPECT_EQ(mc.memoFastForwardedSteps(), 0u);
+}
+
+TEST(ConvEpochMemo, BitIdenticalAcrossPagePolicies)
+{
+    for (const PagePolicy pol :
+         {PagePolicy::Open, PagePolicy::Close, PagePolicy::Adaptive}) {
+        McConfig on = convCfg(true);
+        McConfig off = convCfg(false);
+        on.pagePolicy = off.pagePolicy = pol;
+        auto memo = makeConv(on);
+        auto oracle = makeConv(off);
+        streamReads(memo, 4_MiB, 4_KiB);
+        streamReads(oracle, 4_MiB, 4_KiB);
+        memo.drain();
+        oracle.drain();
+        EXPECT_TRUE(memo.stats() == oracle.stats())
+            << "policy " << static_cast<int>(pol);
+    }
+}
+
+TEST(ConvEpochMemo, BitIdenticalWithRefresh)
+{
+    // Default-cadence refresh leaves no clean window wide enough for the
+    // long column-granularity epoch, and the replay path falls back on
+    // every pending refresh anyway: behavior must match the oracle
+    // exactly, engaged or not.
+    auto memo = makeConv(convCfg(true, true));
+    auto oracle = makeConv(convCfg(false, true));
+    streamReads(memo, 4_MiB, 4_KiB);
+    streamReads(oracle, 4_MiB, 4_KiB);
+    memo.drain();
+    oracle.drain();
+    const ControllerStats a = memo.stats();
+    EXPECT_TRUE(a == oracle.stats());
+    EXPECT_GT(a.refPbs, 0u); // refreshes really happened
+}
+
+TEST(ConvEpochMemo, BitIdenticalWithMixedWrites)
+{
+    // Read/write interleave exercises write-drain hysteresis; the drain
+    // flag is part of the occupancy signature, so flips bound the replay
+    // and the stats must not move.
+    auto fill = [](ConventionalMc& mc) {
+        std::uint64_t id = 1;
+        for (std::uint64_t off = 0; off < 4_MiB; off += 4_KiB) {
+            const bool wr = (off / 4_KiB) % 4 == 3;
+            mc.enqueue({id++, wr ? ReqKind::Write : ReqKind::Read, off,
+                        4_KiB, 0});
+        }
+    };
+    auto memo = makeConv(convCfg(true));
+    auto oracle = makeConv(convCfg(false));
+    fill(memo);
+    fill(oracle);
+    memo.drain();
+    oracle.drain();
+    EXPECT_TRUE(memo.stats() == oracle.stats());
+}
+
+TEST(ConvEpochMemo, MidRunArrivalsStayIdentical)
+{
+    // Fresh arrivals break the stale-uniform model: admitsMatchReady and
+    // the all-aged boundary gate must push those steps back to the full
+    // search, bit-identically.
+    auto run = [](bool memo_on) {
+        auto mc = makeConv(convCfg(memo_on));
+        streamReads(mc, 4_MiB, 4_KiB);
+        mc.runUntil(40_us);
+        std::uint64_t id = 100000;
+        for (std::uint64_t off = 0; off < 1_MiB; off += 4_KiB)
+            mc.enqueue({id++, ReqKind::Read, 4_MiB + off, 4_KiB, 40_us});
+        mc.drain();
+        return mc.stats();
+    };
+    EXPECT_TRUE(run(true) == run(false));
+}
+
+TEST(ConvEpochMemo, RunUntilSeamsStayIdentical)
+{
+    // Clamps land mid-epoch; the interrupted replay step is retried
+    // verbatim on the next slice. Slices are much longer than the
+    // detection window, so the replay path must still engage.
+    auto memo = makeConv(convCfg(true));
+    auto oracle = makeConv(convCfg(false));
+    streamReads(memo, 8_MiB, 4_KiB);
+    streamReads(oracle, 8_MiB, 4_KiB);
+    Tick at = 0;
+    for (int i = 0; i < 40; ++i) {
+        at += 17_us + static_cast<Tick>(i) * 13;
+        memo.runUntil(at);
+    }
+    memo.drain();
+    oracle.drain();
+    EXPECT_TRUE(memo.stats() == oracle.stats());
+    EXPECT_GT(memo.memoFastForwardedEpochs(), 0u);
+}
+
+TEST(ConvEpochMemo, ReplayIsAllocationFree)
+{
+    auto mc = makeConv(convCfg(true));
+    streamReads(mc, 64_MiB, 4_KiB);
+    mc.runUntil(100_us); // warm-up: detect, confirm, settle capacities
+    ASSERT_GT(mc.memoFastForwardedEpochs(), 0u)
+        << "replay never engaged; probe window is meaningless";
+    const std::uint64_t steps0 = mc.stepsExecuted();
+    const std::uint64_t allocs0 = g_allocs.load();
+    mc.runUntil(300_us);
+    const std::uint64_t window_steps = mc.stepsExecuted() - steps0;
+    const std::uint64_t window_allocs = g_allocs.load() - allocs0;
+    EXPECT_GT(window_steps, 10000u);
+    EXPECT_EQ(window_allocs, 0u);
+}
+
+} // namespace
+} // namespace rome

@@ -294,6 +294,51 @@ TEST(Trace, CorpusPhaseTracesReplayOnBothStacks)
     }
 }
 
+TEST(Trace, BurstyServingFixtureStressesTheMemoFallback)
+{
+    // Recorded by `trace_replay record ... serve --bursty`: two tenants
+    // of Poisson-arriving 16-request bursts. Burst edges are aperiodic
+    // admissions with fresh arrival ticks — exactly what the epoch
+    // detector must refuse to memoize — so both stacks have to match
+    // their step-by-step oracles bit for bit on this shape.
+    TraceSource trace(std::string(ROME_SOURCE_DIR) +
+                      "/tests/data/serving_bursty.trace");
+    EXPECT_EQ(trace.format(), TraceFormat::Binary);
+    const auto reqs = collectRequests(trace);
+    ASSERT_GT(reqs.size(), 100u);
+    std::size_t tied = 0;
+    for (std::size_t i = 1; i < reqs.size(); ++i) {
+        EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+        tied += reqs[i].arrival == reqs[i - 1].arrival;
+    }
+    // Burst members share an arrival tick: ties dominate the stream.
+    EXPECT_GT(tied, reqs.size() / 2);
+
+    const DramConfig dram = hbm4Config();
+    {
+        RomeMcConfig on, off;
+        off.epochMemo = false;
+        RomeMc memo(dram, VbaDesign::adopted(), on);
+        RomeMc oracle(dram, VbaDesign::adopted(), off);
+        trace.reset();
+        const ControllerStats a = runWorkload(memo, trace);
+        trace.reset();
+        EXPECT_TRUE(a == runWorkload(oracle, trace));
+        EXPECT_EQ(a.completedRequests, reqs.size());
+    }
+    {
+        McConfig on, off;
+        off.epochMemo = false;
+        ConventionalMc memo(dram, bestBaselineMapping(dram.org), on);
+        ConventionalMc oracle(dram, bestBaselineMapping(dram.org), off);
+        trace.reset();
+        const ControllerStats a = runWorkload(memo, trace);
+        trace.reset();
+        EXPECT_TRUE(a == runWorkload(oracle, trace));
+        EXPECT_EQ(a.completedRequests, reqs.size());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Arrival processes and combinators
 // ---------------------------------------------------------------------------
@@ -406,6 +451,38 @@ TEST(Source, ShardsPartitionTheStream)
                         2, shards, 4_KiB);
     for (const auto& r : collectRequests(striped))
         EXPECT_EQ(r.addr / 4_KiB % shards, 2u);
+}
+
+TEST(Source, SkipTrimsTheHeadAndComposesWithTake)
+{
+    const StreamPattern p{64_KiB, 4_KiB}; // 16 requests
+    StreamSource whole(p);
+    const auto all = collectRequests(whole);
+
+    // The tail passes through untouched: ids and arrivals included.
+    SkipSource skip(std::make_unique<StreamSource>(p), 5);
+    const auto tail = collectRequests(skip);
+    ASSERT_EQ(tail.size(), all.size() - 5);
+    for (std::size_t i = 0; i < tail.size(); ++i)
+        EXPECT_TRUE(sameRequest(tail[i], all[i + 5]));
+
+    // Deterministic replay after reset.
+    skip.reset();
+    EXPECT_TRUE(sameRequests(tail, collectRequests(skip)));
+
+    // Skipping past the end yields an empty stream, not an error.
+    SkipSource past(std::make_unique<StreamSource>(p), 1000);
+    EXPECT_TRUE(collectRequests(past).empty());
+    EXPECT_EQ(past.nextArrival(), kTickMax);
+
+    // Skip + Take carve a window out of the middle of the stream.
+    TakeSource window(
+        std::make_unique<SkipSource>(std::make_unique<StreamSource>(p), 4),
+        8);
+    const auto win = collectRequests(window);
+    ASSERT_EQ(win.size(), 8u);
+    for (std::size_t i = 0; i < win.size(); ++i)
+        EXPECT_TRUE(sameRequest(win[i], all[i + 4]));
 }
 
 // ---------------------------------------------------------------------------
