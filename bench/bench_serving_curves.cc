@@ -87,18 +87,20 @@ scanSource(RequestSource& src)
 /**
  * The system stream of one corpus trace: the short decode/prefill phase
  * traces loop 64 times (RepeatSource) so their serving runs are long
- * enough for tail percentiles and a clean knee; everything is capped for
- * --quick smoke runs.
+ * enough for tail percentiles and a clean knee; everything runs through
+ * the trimWindow preset — @p skip drops a warm-up prefix, @p cap bounds
+ * the span for --quick smoke runs.
  */
 SourceFactory
-workloadSource(const std::string& path, bool loop, std::uint64_t cap)
+workloadSource(const std::string& path, bool loop, std::uint64_t cap,
+               std::uint64_t skip = 0)
 {
-    return [path, loop, cap]() -> std::unique_ptr<RequestSource> {
+    return [path, loop, cap, skip]() -> std::unique_ptr<RequestSource> {
         std::unique_ptr<RequestSource> src =
             std::make_unique<TraceSource>(path);
         if (loop)
             src = std::make_unique<RepeatSource>(std::move(src), 64);
-        return std::make_unique<TakeSource>(std::move(src), cap);
+        return trimWindow(std::move(src), skip, cap);
     };
 }
 

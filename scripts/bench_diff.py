@@ -40,6 +40,11 @@ HIGHER_IS_BETTER = ("stepspersec", "speedup")
 # p999ns before p99ns is irrelevant (suffix match), but keep tail-latency
 # percentiles distinct: latencyP99Ns / latencyP999Ns from the serving rows.
 LOWER_IS_BETTER = ("seconds", "p99ns", "p999ns")
+# Reliability counters are descriptive, not perf: a row with more CEs is a
+# row that injected more faults, while latencyP99Ns on the same row stays a
+# real lower-is-better metric (retries inflate it honestly).
+INFORMATIONAL = ("cecount", "duecount", "retrycount", "scrubcount",
+                 "sparedrows")
 IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
                    "design", "pagePolicy", "load")
 
@@ -47,6 +52,8 @@ IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
 def metric_direction(key):
     """+1 higher-better, -1 lower-better, 0 not a perf metric."""
     k = key.lower()
+    if k.endswith(INFORMATIONAL):
+        return 0
     if k.endswith(HIGHER_IS_BETTER):
         return 1
     if k.endswith(LOWER_IS_BETTER):

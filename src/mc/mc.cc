@@ -53,6 +53,11 @@ ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
 {
     if (cfg_.readQueueDepth < 1 || cfg_.writeQueueDepth < 1)
         fatal("queue depths must be positive");
+    // One SEC-DED codeword per 32 B line: every read CAS is classified
+    // as exactly one codeword. Fault domains are flat bank indices.
+    faults_.configure(cfg_.faults, cfg.org.banksPerChannel(),
+                      cfg.org.rowsPerBank,
+                      static_cast<int>(cfg.org.columnsPerRow()), 1);
     if (cfg_.refreshEnabled) {
         const int units = cfg.org.pcsPerChannel * cfg.org.sidsPerChannel;
         const Tick interval =
@@ -167,6 +172,12 @@ ConventionalMc::admitOps()
         const std::uint64_t line = first_line + frontChunk_;
         Op op{map_.decode(line * col), req.id, req.kind, req.arrival,
               total == 1};
+        if (faults_.enabled()) {
+            // Spared rows are remapped at admission so every queued op
+            // carries the physical row it will access.
+            op.addr.row = faults_.remappedRow(
+                flatBankIndex(dramCfg_.org, op.addr), op.addr.row);
+        }
         if (cfg_.legacyScheduler)
             (is_read ? readQ_ : writeQ_).push_back(op);
         else
@@ -199,6 +210,8 @@ ConventionalMc::updateWriteDrain()
 void
 ConventionalMc::completeOp(const Op& op, Tick data_end)
 {
+    if (faults_.enabled() && deferForFault(op, data_end))
+        return; // correctable error: the op completes on a later re-read
     if (op.kind == ReqKind::Read)
         bytesRead_ += dramCfg_.org.columnBytes;
     else
@@ -207,6 +220,119 @@ ConventionalMc::completeOp(const Op& op, Tick data_end)
         noteSingleOpDone(op.reqId, op.arrival, data_end);
     else
         noteOpDone(op.reqId, data_end);
+}
+
+// ---------------------------------------------------------------------------
+// Reliability: per-CAS ECC classification, retry, scrub, row sparing
+// ---------------------------------------------------------------------------
+
+bool
+ConventionalMc::deferForFault(const Op& op, Tick data_end)
+{
+    // Writes carry no read data to check; DUEs deliver poisoned data
+    // immediately (retrying an uncorrectable pattern cannot help — the
+    // injector already accounted the event).
+    if (op.kind != ReqKind::Read)
+        return false;
+    const int bank = flatBankIndex(dramCfg_.org, op.addr);
+    const EccVerdict v =
+        faults_.classifyRead(bank, op.addr.row, op.addr.col, 1);
+    if (v != EccVerdict::CorrectedError)
+        return false;
+    if (op.attempt < faults_.config().retryLimit) {
+        Op retry = op;
+        ++retry.attempt;
+        queueRetry(retry, faults_.retryReadyAt(data_end, op.attempt));
+        return true;
+    }
+    // Retry budget exhausted: this is a persistent CE. Strike the row;
+    // past the threshold remap it to a spare and replay the op there —
+    // the request completes late instead of looping forever.
+    if (faults_.noteCorrectable(bank, op.addr.row)) {
+        const SpareEvent ev = faults_.spareRow(bank, op.addr.row);
+        if (ev.newRow >= 0) {
+            applySpare(ev);
+            Op replay = op;
+            replay.addr.row = ev.newRow;
+            replay.attempt = 0;
+            queueRetry(replay, faults_.retryReadyAt(data_end, 0));
+            return true;
+        }
+    }
+    return false; // no spare left: deliver the corrected data as-is
+}
+
+void
+ConventionalMc::queueRetry(Op op, Tick ready_at)
+{
+    faults_.noteRetry();
+    retryQ_.push_back(PendingRetry{op, ready_at});
+    nextRetryAt_ = std::min(nextRetryAt_, ready_at);
+}
+
+void
+ConventionalMc::pumpRetries()
+{
+    if (retryQ_.empty())
+        return;
+    const auto depth = static_cast<std::size_t>(cfg_.readQueueDepth);
+    Tick next = kTickMax;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < retryQ_.size(); ++i) {
+        PendingRetry r = retryQ_[i];
+        // Re-admission respects the read queue depth; a full queue keeps
+        // the entry pending (the queue drains every step, so no wake-up
+        // bookkeeping is needed for that case).
+        if (r.readyAt <= now_ &&
+            readQueueSize() + readOutstanding_.size() < depth) {
+            if (cfg_.legacyScheduler)
+                readQ_.push_back(r.op);
+            else
+                insertOpIndexed(r.op);
+            continue;
+        }
+        next = std::min(next, std::max(r.readyAt, now_ + 1));
+        retryQ_[w++] = r;
+    }
+    retryQ_.resize(w);
+    nextRetryAt_ = next;
+}
+
+void
+ConventionalMc::runScrub()
+{
+    scrubEvents_.clear();
+    faults_.scrub(scrubEvents_);
+    for (const SpareEvent& ev : scrubEvents_)
+        applySpare(ev);
+}
+
+void
+ConventionalMc::applySpare(const SpareEvent& ev)
+{
+    const auto rewrite = [&](Op& op) {
+        if (op.addr.row == ev.oldRow &&
+            flatBankIndex(dramCfg_.org, op.addr) == ev.bank)
+            op.addr.row = ev.newRow;
+    };
+    if (cfg_.legacyScheduler) {
+        for (Op& op : readQ_)
+            rewrite(op);
+        for (Op& op : writeQ_)
+            rewrite(op);
+    } else {
+        BankEntry& e = bankIx_[static_cast<std::size_t>(ev.bank)];
+        for (BankList* l : {&e.read, &e.write}) {
+            for (int i = l->head; i != -1;
+                 i = pool_[static_cast<std::size_t>(i)].next) {
+                rewrite(pool_[static_cast<std::size_t>(i)].op);
+            }
+        }
+        // Row identities in the bank changed: hit summaries are stale.
+        reindexBankRow(ev.bank);
+    }
+    for (PendingRetry& r : retryQ_)
+        rewrite(r.op);
 }
 
 Tick
@@ -227,6 +353,8 @@ ConventionalMc::idleWakeTick(Tick adaptive_next) const
         if (pendingRefreshCount(u) == 0)
             next = std::min(next, u.rot.due);
     }
+    if (nextRetryAt_ != kTickMax)
+        next = std::min(next, std::max(nextRetryAt_, now_ + 1));
     return next;
 }
 
@@ -466,6 +594,8 @@ ConventionalMc::stepOnceIndexed(Tick until)
 {
     readOutstanding_.release(now_);
     writeOutstanding_.release(now_);
+    if (faults_.enabled())
+        pumpRetries(); // before admission: retries compete for queue space
     pumpArrivals();
     updateWriteDrain();
 
@@ -696,6 +826,8 @@ ConventionalMc::stepOnceIndexed(Tick until)
             RefreshUnit& u =
                 refreshUnits_[static_cast<std::size_t>(best.refreshUnit)];
             u.rot.advance(dramCfg_.org.banksPerSid());
+            if (faults_.enabled())
+                runScrub(); // patrol scrub rides the refresh calendar
         } else {
             applyRowCommand(best.cmd); // opportunistic-refresh precharge
         }
@@ -1157,6 +1289,8 @@ ConventionalMc::stepOnceLegacy(Tick until)
 {
     readOutstanding_.release(now_);
     writeOutstanding_.release(now_);
+    if (faults_.enabled())
+        pumpRetries(); // before admission: retries compete for queue space
     pumpArrivals();
     updateWriteDrain();
 
@@ -1221,6 +1355,8 @@ ConventionalMc::stepOnceLegacy(Tick until)
             RefreshUnit& u =
                 refreshUnits_[static_cast<std::size_t>(best->refreshUnit)];
             u.rot.advance(dramCfg_.org.banksPerSid());
+            if (faults_.enabled())
+                runScrub(); // patrol scrub rides the refresh calendar
         }
     } else if (best->cmd.kind == CmdKind::Rd || best->cmd.kind == CmdKind::Wr) {
         auto& queue = best->isWrite ? writeQ_ : readQ_;

@@ -95,6 +95,15 @@ struct McConfig
      * the indexed scheduler memoizes; tracing disables it dynamically.
      */
     bool epochMemo = true;
+    /**
+     * Fault injection + ECC/recovery (sim/fault.h). The conventional
+     * stack evaluates one SEC-DED codeword per 32 B line, so each read
+     * CAS is classified independently. Disabled by default; when
+     * disabled the scheduling path is bit-identical to a faultless
+     * build. Enabling faults also disables epoch memoization (a retry
+     * or spare event would deviate from any cached epoch anyway).
+     */
+    FaultConfig faults;
 };
 
 /** Conventional column-granularity memory controller for one channel. */
@@ -137,6 +146,15 @@ class ConventionalMc : public ChannelControllerBase
         Tick arrival;
         /** The op is its request's only one (completion fast path). */
         bool singleOp = false;
+        /** Re-read attempts already spent clearing a CE (fault path). */
+        int attempt = 0;
+    };
+
+    /** A deferred re-read waiting out its ECC retry backoff. */
+    struct PendingRetry
+    {
+        Op op;
+        Tick readyAt;
     };
 
     /** Per-(PC, SID) refresh rotation state (cursor walks the banks). */
@@ -232,6 +250,23 @@ class ConventionalMc : public ChannelControllerBase
     bool refreshBlocked(const DramAddress& a) const;
     Tick idleWakeTick(Tick adaptive_next) const;
 
+    // ---- reliability (ECC classify / retry / scrub / sparing) -----------
+    /**
+     * Classify the read that just transferred and, on a correctable
+     * error, defer its completion: schedule a bounded-backoff re-read
+     * (or, past the CE sparing threshold, remap the row and replay the
+     * op against the spare). True when the completion was deferred.
+     */
+    bool deferForFault(const Op& op, Tick data_end);
+    /** Queue a deferred re-read and track the earliest wake tick. */
+    void queueRetry(Op op, Tick ready_at);
+    /** Re-admit retries whose backoff expired (queue space permitting). */
+    void pumpRetries();
+    /** Patrol-scrub step piggybacked on an issued refresh. */
+    void runScrub();
+    /** Rewrite queued + retrying ops of a spared row to its new home. */
+    void applySpare(const SpareEvent& ev);
+
     // ---- indexed scheduler ---------------------------------------------
     bool stepOnceIndexed(Tick until);
     void insertOpIndexed(Op op);
@@ -250,11 +285,13 @@ class ConventionalMc : public ChannelControllerBase
     static bool candRankLess(const Candidate& a, const Candidate& b);
 
     // ---- epoch memoization (steady-state decision replay) ---------------
-    /** Memoization applies: flag on, indexed scheduler, no tracing. */
+    /** Memoization applies: flag on, indexed scheduler, no tracing, no
+     *  faults (an injected event would deviate from any cached epoch). */
     bool
     memoActive() const
     {
-        return cfg_.epochMemo && !dev_.tracingEnabled();
+        return cfg_.epochMemo && !dev_.tracingEnabled() &&
+               !faults_.enabled();
     }
     /** Queue-count + drain-state signature matched per canonical step. */
     std::int32_t memoOccupancySignature() const;
@@ -306,6 +343,13 @@ class ConventionalMc : public ChannelControllerBase
     OutstandingOps writeOutstanding_;
     bool drainingWrites_ = false;
     std::vector<RefreshUnit> refreshUnits_;
+
+    /** Deferred re-reads waiting out their ECC retry backoff (FIFO). */
+    std::vector<PendingRetry> retryQ_;
+    /** Earliest retry readiness (kTickMax when none), for idle wake. */
+    Tick nextRetryAt_ = kTickMax;
+    /** Scratch for scrub-driven spare events (reused across calls). */
+    std::vector<SpareEvent> scrubEvents_;
 
     std::uint64_t casIssued_ = 0;
     Accumulator readQOcc_;

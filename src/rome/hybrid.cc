@@ -7,9 +7,31 @@
 namespace rome
 {
 
+namespace
+{
+
+RomeMcConfig
+coarsePartitionConfig(const HybridConfig& cfg)
+{
+    RomeMcConfig mc;
+    mc.faults = cfg.faults;
+    return mc;
+}
+
+McConfig
+finePartitionConfig(const HybridConfig& cfg)
+{
+    McConfig mc;
+    mc.faults = cfg.faults;
+    return mc;
+}
+
+} // namespace
+
 HybridMc::HybridMc(const DramConfig& base, HybridConfig cfg)
-    : cfg_(cfg), rome_(base, VbaDesign::adopted(), RomeMcConfig{}),
-      fine_(base, bestBaselineMapping(base.org), McConfig{})
+    : cfg_(cfg),
+      rome_(base, VbaDesign::adopted(), coarsePartitionConfig(cfg)),
+      fine_(base, bestBaselineMapping(base.org), finePartitionConfig(cfg))
 {
 }
 

@@ -39,6 +39,13 @@ struct HybridConfig
     std::uint64_t coarseThreshold = 4096;
     /** Fraction of the cube's channels built as RoMe (rest HBM4). */
     double romeChannelFraction = 0.75;
+    /**
+     * Reliability model applied to both partitions (sim/fault.h). Each
+     * partition classifies at its own ECC granularity — 32 B lines on the
+     * fine side, whole effective rows on the coarse side — and the merged
+     * stats() carry both partitions' CE/DUE/retry/scrub/spare counters.
+     */
+    FaultConfig faults;
 };
 
 /** One RoMe channel + one conventional channel behind a size router. */

@@ -49,6 +49,12 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
     vbaBusyUntil_.assign(static_cast<std::size_t>(totalVbas_), 0);
     vbaBusyState_.assign(static_cast<std::size_t>(totalVbas_),
                          VbaState::Idle);
+    // Fault domains are VBAs: every row op touches one whole effective
+    // row, protected by a single SEC-DED codeword over all its lines.
+    const int lines_per_row = static_cast<int>(
+        map_.effectiveRowBytes() / baseCfg_.org.columnBytes);
+    faults_.configure(cfg_.faults, totalVbas_, map_.rowsPerVba(),
+                      lines_per_row, lines_per_row);
 }
 
 VbaAddress
@@ -101,6 +107,10 @@ RomeMc::admitOps()
         op.cmd.kind = req.kind == ReqKind::Read ? RowCmdKind::RdRow
                                                 : RowCmdKind::WrRow;
         op.cmd.addr = decodeRow(chunk_lo);
+        if (faults_.enabled()) {
+            op.cmd.addr.row = faults_.remappedRow(vbaKey(op.cmd.addr),
+                                                  op.cmd.addr.row);
+        }
         op.reqId = req.id;
         op.arrival = req.arrival;
         op.usefulBytes = hi - lo;
@@ -202,6 +212,8 @@ RomeMc::stepOnceIndexed(Tick until)
     }
 
     outstanding_.release(now_);
+    if (faults_.enabled())
+        pumpRetries();
     const std::size_t q_before = queue_.size();
     pumpArrivals();
     std::uint32_t admitted = 0;
@@ -245,6 +257,8 @@ RomeMc::stepOnceIndexed(Tick until)
             refHighWater_ = std::max(
                 refHighWater_, static_cast<int>(refBusy_.size()));
             refresh_.advance(totalVbas_);
+            if (faults_.enabled())
+                runScrub();
             return true;
         }
     }
@@ -331,6 +345,13 @@ RomeMc::stepOnceIndexed(Tick until)
         lastRowCmdSid_ = op.cmd.addr.sid;
         lastRowCmdVba_ = op.cmd.addr;
 
+        if (faults_.enabled() && deferForFault(op, res.dataUntil)) {
+            // The transfer happened (busy tables and the outstanding CAM
+            // above stand), but the data needs a retry: completion and
+            // byte accounting wait for the attempt that reads clean.
+            return true;
+        }
+
         if (is_write)
             bytesWritten_ += op.usefulBytes;
         else
@@ -354,6 +375,17 @@ RomeMc::stepOnceIndexed(Tick until)
     if (memo_on)
         memo_.reset();
     Tick next = kTickMax;
+    if (!retryQ_.empty()) {
+        // A retry re-enters once its backoff passed and the queue has
+        // room; room only appears when an outstanding transfer ends.
+        Tick retry_at = std::max(nextRetryAt_, now_ + 1);
+        if (queue_.size() + outstanding_.size() >=
+            static_cast<std::size_t>(cfg_.queueDepth)) {
+            retry_at = std::max(retry_at,
+                                outstanding_.firstFreeAfter(now_));
+        }
+        next = std::min(next, retry_at);
+    }
     if (!host_.empty()) {
         Tick admit_at = std::max(host_.front().arrival, now_ + 1);
         if (queue_.size() + outstanding_.size() >=
@@ -382,6 +414,8 @@ bool
 RomeMc::stepOnceLegacy(Tick until)
 {
     outstanding_.release(now_);
+    if (faults_.enabled())
+        pumpRetries();
     pumpArrivals();
     retireSlots(now_);
 
@@ -406,6 +440,8 @@ RomeMc::stepOnceLegacy(Tick until)
             refHighWater_ = std::max(refHighWater_,
                                      busyCount(refSlots_, now_));
             refresh_.advance(totalVbas_);
+            if (faults_.enabled())
+                runScrub();
             return true;
         }
     }
@@ -487,6 +523,11 @@ RomeMc::stepOnceLegacy(Tick until)
         lastRowCmdSid_ = op.cmd.addr.sid;
         lastRowCmdVba_ = op.cmd.addr;
 
+        if (faults_.enabled() && deferForFault(op, res.dataUntil)) {
+            // Transfer happened; completion waits for a clean retry.
+            return true;
+        }
+
         if (is_write)
             bytesWritten_ += op.usefulBytes;
         else
@@ -502,6 +543,17 @@ RomeMc::stepOnceLegacy(Tick until)
 
     // --- Nothing issuable: advance to the next event ----------------------
     Tick next = kTickMax;
+    if (!retryQ_.empty()) {
+        // A retry re-enters once its backoff passed and the queue has
+        // room; room only appears when an outstanding transfer ends.
+        Tick retry_at = std::max(nextRetryAt_, now_ + 1);
+        if (queue_.size() + outstanding_.size() >=
+            static_cast<std::size_t>(cfg_.queueDepth)) {
+            retry_at = std::max(retry_at,
+                                outstanding_.firstFreeAfter(now_));
+        }
+        next = std::min(next, retry_at);
+    }
     if (!host_.empty()) {
         Tick admit_at = std::max(host_.front().arrival, now_ + 1);
         if (queue_.size() + outstanding_.size() >=
@@ -528,6 +580,102 @@ RomeMc::stepOnceLegacy(Tick until)
     }
     now_ = next;
     return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reliability (sim/fault.h)
+//
+// RoMe's ECC granularity is the whole effective row: one SEC-DED codeword
+// spans every line a row op transfers, so each RD_row is one decode. A
+// corrected error re-reads the row after a backoff; a row that keeps
+// correcting gets spared, and the pending op replays against the new row
+// (completing late, never asserting). Writes are not classified — errors
+// surface on the read that consumes them.
+// ---------------------------------------------------------------------------
+
+bool
+RomeMc::deferForFault(const RowOp& op, Tick data_end)
+{
+    if (op.cmd.kind != RowCmdKind::RdRow)
+        return false;
+    const int vba = vbaKey(op.cmd.addr);
+    const int nlines = static_cast<int>(map_.effectiveRowBytes() /
+                                        baseCfg_.org.columnBytes);
+    const EccVerdict v =
+        faults_.classifyRead(vba, op.cmd.addr.row, 0, nlines);
+    if (v != EccVerdict::CorrectedError)
+        return false; // clean completes; a DUE completes poisoned
+    if (op.attempt < faults_.config().retryLimit) {
+        RowOp retry = op;
+        ++retry.attempt;
+        queueRetry(retry, faults_.retryReadyAt(data_end, op.attempt));
+        return true;
+    }
+    if (faults_.noteCorrectable(vba, op.cmd.addr.row)) {
+        const SpareEvent ev = faults_.spareRow(vba, op.cmd.addr.row);
+        if (ev.newRow >= 0) {
+            applySpare(ev);
+            RowOp replay = op;
+            replay.cmd.addr.row = ev.newRow;
+            replay.attempt = 0;
+            queueRetry(replay, faults_.retryReadyAt(data_end, 0));
+            return true;
+        }
+    }
+    // Retries exhausted and no spare left: hand the corrected data up.
+    return false;
+}
+
+void
+RomeMc::queueRetry(RowOp op, Tick ready_at)
+{
+    faults_.noteRetry();
+    retryQ_.push_back(PendingRetry{op, ready_at});
+    nextRetryAt_ = std::min(nextRetryAt_, ready_at);
+}
+
+void
+RomeMc::pumpRetries()
+{
+    if (retryQ_.empty())
+        return;
+    const auto depth = static_cast<std::size_t>(cfg_.queueDepth);
+    Tick next = kTickMax;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < retryQ_.size(); ++i) {
+        const PendingRetry r = retryQ_[i];
+        if (r.readyAt <= now_ &&
+            queue_.size() + outstanding_.size() < depth) {
+            queue_.push_back(r.op);
+            continue;
+        }
+        next = std::min(next, std::max(r.readyAt, now_ + 1));
+        retryQ_[w++] = r;
+    }
+    retryQ_.resize(w);
+    nextRetryAt_ = next;
+}
+
+void
+RomeMc::runScrub()
+{
+    scrubEvents_.clear();
+    faults_.scrub(scrubEvents_);
+    for (const SpareEvent& ev : scrubEvents_)
+        applySpare(ev);
+}
+
+void
+RomeMc::applySpare(const SpareEvent& ev)
+{
+    const auto rewrite = [&](RowOp& op) {
+        if (op.cmd.addr.row == ev.oldRow && vbaKey(op.cmd.addr) == ev.bank)
+            op.cmd.addr.row = ev.newRow;
+    };
+    for (RowOp& op : queue_)
+        rewrite(op);
+    for (PendingRetry& r : retryQ_)
+        rewrite(r.op);
 }
 
 // ---------------------------------------------------------------------------

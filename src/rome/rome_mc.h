@@ -98,6 +98,13 @@ struct RomeMcConfig
      * indexed scheduler memoizes; tracing disables it dynamically.
      */
     bool epochMemo = true;
+    /**
+     * Reliability model (sim/fault.h). RoMe protects the whole effective
+     * row with one SEC-DED codeword, so every row op is classified as one
+     * ECC decode over all its lines. Enabling faults disables epoch
+     * memoization (retries make the schedule aperiodic).
+     */
+    FaultConfig faults;
 };
 
 /** How channel-local addresses map onto (VBA, SID, row) chunks. */
@@ -160,6 +167,16 @@ class RomeMc : public ChannelControllerBase
         std::uint64_t usefulBytes;
         /** The op is its request's only one (completion fast path). */
         bool singleOp = false;
+        /** Fault-retry attempt count (0 = first issue). */
+        int attempt = 0;
+    };
+
+    /** A row op awaiting its fault-retry backoff before re-entering the
+     *  queue. */
+    struct PendingRetry
+    {
+        RowOp op;
+        Tick readyAt;
     };
 
     /** An FSM slot tracking an in-flight row operation or refresh. */
@@ -185,13 +202,26 @@ class RomeMc : public ChannelControllerBase
     void retireSlots(Tick at);
     Tick nextRefreshDue() const;
 
+    // ---- reliability (sim/fault.h) --------------------------------------
+    /** Classify a completed read against the fault model; returns true if
+     *  the completion was deferred (retry or spare-replay queued). */
+    bool deferForFault(const RowOp& op, Tick data_end);
+    void queueRetry(RowOp op, Tick ready_at);
+    /** Move backoff-expired retries back into the request queue. */
+    void pumpRetries();
+    /** Run the patrol-scrub slice that rides on an issued refresh. */
+    void runScrub();
+    /** Rewrite queued and retrying ops after a row got spared. */
+    void applySpare(const SpareEvent& ev);
+
     // ---- epoch memoization (steady-state fast-forward) ------------------
-    /** Memoization applies: flag on, indexed scheduler, no tracing. */
+    /** Memoization applies: flag on, indexed scheduler, no tracing, no
+     *  fault injection (retries make the schedule aperiodic). */
     bool
     memoActive() const
     {
         return cfg_.epochMemo && !cfg_.legacyScheduler &&
-               !dev_.tracingEnabled();
+               !dev_.tracingEnabled() && !faults_.enabled();
     }
     /** Record one issued step with the detector; handles captures. */
     void memoRecordIssue(Tick at, const CommandGenerator::RowOpResult& res,
@@ -253,6 +283,11 @@ class RomeMc : public ChannelControllerBase
     /** Refresh rotation across all (SID, VBA) pairs of the channel. */
     RefreshRotation refresh_;
     int totalVbas_ = 0;
+
+    /** Fault retries waiting out their backoff (unordered; scanned). */
+    std::vector<PendingRetry> retryQ_;
+    Tick nextRetryAt_ = kTickMax;
+    std::vector<SpareEvent> scrubEvents_;
 
     std::uint64_t overfetch_ = 0;
     int opHighWater_ = 0;

@@ -20,6 +20,9 @@ ControllerStats::operator==(const ControllerStats& o) const
            refPbs == o.refPbs && refAbs == o.refAbs &&
            rowCmds == o.rowCmds && colCmds == o.colCmds &&
            interfaceCommands == o.interfaceCommands &&
+           ceCount == o.ceCount && dueCount == o.dueCount &&
+           retryCount == o.retryCount && scrubCount == o.scrubCount &&
+           sparedRows == o.sparedRows &&
            finishedAt == o.finishedAt &&
            achievedBandwidth == o.achievedBandwidth &&
            effectiveBandwidth == o.effectiveBandwidth &&
@@ -60,6 +63,11 @@ ControllerStats::merge(const ControllerStats& o)
     rowCmds += o.rowCmds;
     colCmds += o.colCmds;
     interfaceCommands += o.interfaceCommands;
+    ceCount += o.ceCount;
+    dueCount += o.dueCount;
+    retryCount += o.retryCount;
+    scrubCount += o.scrubCount;
+    sparedRows += o.sparedRows;
     finishedAt = std::max(finishedAt, o.finishedAt);
     latencyMaxNs = std::max(latencyMaxNs, o.latencyMaxNs);
     // Bucket counts add, so merged percentiles are exact — identical to a
@@ -243,6 +251,11 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
     s.latencyMeanNs = latencyNs_.mean();
     s.latencyMaxNs = latencyNs_.max();
     s.latencyHistNs = latencyHistNs_;
+    s.ceCount = faults_.ceCount();
+    s.dueCount = faults_.dueCount();
+    s.retryCount = faults_.retryCount();
+    s.scrubCount = faults_.scrubCount();
+    s.sparedRows = faults_.sparedRows();
     const auto& c = device().counters();
     s.acts = c.acts.value();
     s.pres = c.pres.value();

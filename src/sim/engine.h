@@ -50,6 +50,7 @@
 #include "dram/device.h"
 #include "mc/complexity.h"
 #include "mc/request.h"
+#include "sim/fault.h"
 
 namespace rome
 {
@@ -81,6 +82,18 @@ struct ControllerStats
     std::uint64_t colCmds = 0;
     /** Commands crossing the MC↔HBM C/A interface. */
     std::uint64_t interfaceCommands = 0;
+
+    // ---- reliability (sim/fault.h; all zero with faults disabled) --------
+    /** Corrected (single-bit) ECC errors observed on reads. */
+    std::uint64_t ceCount = 0;
+    /** Detected-uncorrectable ECC errors (data poisoned, not retried). */
+    std::uint64_t dueCount = 0;
+    /** Re-read commands scheduled to clear correctable errors. */
+    std::uint64_t retryCount = 0;
+    /** Rows visited by the patrol scrub woven into refresh. */
+    std::uint64_t scrubCount = 0;
+    /** Rows remapped into the spare region after repeated CEs. */
+    std::uint64_t sparedRows = 0;
 
     // ---- derived --------------------------------------------------------
     /** Last data-transfer end tick. */
@@ -346,6 +359,9 @@ class ChannelControllerBase : public IMemoryController
     /** High-water mark of the host buffer (bounded-memory evidence). */
     std::size_t hostBufferPeak() const { return hostPeak_; }
 
+    /** The fault process and recovery state this controller consults. */
+    const FaultInjector& faultInjector() const { return faults_; }
+
     /**
      * Disable the per-request completion log (completions() stays
      * empty; completedRequests / latency stats are unaffected). Required
@@ -424,6 +440,12 @@ class ChannelControllerBase : public IMemoryController
     bool sourceDrained() const { return sourceDone_; }
 
     Tick now_ = 0;
+    /**
+     * Per-channel fault process (subclass ctors configure it with their
+     * geometry). Disabled by default: every hot-path hook then reduces
+     * to one enabled() branch.
+     */
+    FaultInjector faults_;
     std::deque<Request> host_;
     /** Next not-yet-admitted chunk index of host_.front(). */
     std::uint64_t frontChunk_ = 0;

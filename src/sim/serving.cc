@@ -94,6 +94,11 @@ runRateSweep(const ServingDriver& driver,
         pt.maxNs = res.aggregate.latencyHistNs.maxNs();
         pt.meanNs = res.aggregate.latencyHistNs.meanNs();
         pt.effectiveBandwidth = res.aggregate.effectiveBandwidth;
+        pt.ceCount = res.aggregate.ceCount;
+        pt.dueCount = res.aggregate.dueCount;
+        pt.retryCount = res.aggregate.retryCount;
+        pt.scrubCount = res.aggregate.scrubCount;
+        pt.sparedRows = res.aggregate.sparedRows;
         pt.saturated =
             pt.achievedRps < pt.offeredRps * (1.0 - saturation_tolerance);
         if (pt.saturated && sweep.kneeIndex < 0)
@@ -117,6 +122,11 @@ ratePointJson(JsonWriter& w, const RatePoint& pt)
     w.key("latencyMeanNs").value(pt.meanNs);
     w.key("effectiveBandwidth").value(pt.effectiveBandwidth);
     w.key("saturated").value(pt.saturated);
+    w.key("ceCount").value(pt.ceCount);
+    w.key("dueCount").value(pt.dueCount);
+    w.key("retryCount").value(pt.retryCount);
+    w.key("scrubCount").value(pt.scrubCount);
+    w.key("sparedRows").value(pt.sparedRows);
 }
 
 } // namespace rome

@@ -132,6 +132,12 @@ struct RatePoint
     double effectiveBandwidth = 0.0;
     /** Achieved fell short of offered by more than the tolerance. */
     bool saturated = false;
+    // ---- reliability counters (zero with fault injection disabled) ----
+    std::uint64_t ceCount = 0;
+    std::uint64_t dueCount = 0;
+    std::uint64_t retryCount = 0;
+    std::uint64_t scrubCount = 0;
+    std::uint64_t sparedRows = 0;
 };
 
 /** An offered-rate sweep: the latency–throughput curve plus its knee. */

@@ -404,6 +404,23 @@ SkipSource::rewind()
 }
 
 // ---------------------------------------------------------------------------
+// trimWindow
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<RequestSource>
+trimWindow(std::unique_ptr<RequestSource> source, std::uint64_t skip_n,
+           std::uint64_t take_n)
+{
+    if (!source)
+        fatal("trimWindow needs an inner source");
+    if (skip_n > 0)
+        source = std::make_unique<SkipSource>(std::move(source), skip_n);
+    if (take_n > 0)
+        source = std::make_unique<TakeSource>(std::move(source), take_n);
+    return source;
+}
+
+// ---------------------------------------------------------------------------
 // ShardSource
 // ---------------------------------------------------------------------------
 

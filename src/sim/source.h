@@ -414,6 +414,17 @@ class ShardSource final : public RequestSource
 };
 
 /**
+ * Carve a window out of @p source: drop the first @p skip_n requests,
+ * then pass through at most @p take_n. Sugar for the SkipSource +
+ * TakeSource composition every trimming call site was spelling by hand —
+ * e.g. skipping a prefill warm-up and capping the steady decode span for
+ * a smoke run. @p take_n == 0 means "no cap" (skip only).
+ */
+std::unique_ptr<RequestSource>
+trimWindow(std::unique_ptr<RequestSource> source, std::uint64_t skip_n,
+           std::uint64_t take_n);
+
+/**
  * Shard one system-wide stream across the channels of a cube: element i
  * of the result is ShardSource i of @p num_channels over a fresh instance
  * of @p make_system. Together the shards cover the system stream exactly
