@@ -4,7 +4,8 @@
  * trace, replay a trace through any controller, and demonstrate that a
  * multi-million-request workload streams in O(queue depth) host memory.
  *
- *   $ ./trace_replay record <out.trace> [text|bin] [MiB] [decode|prefill|serve]
+ *   $ ./trace_replay record <out.trace> [text|bin] [MiB]
+ *                          [decode|prefill|serve|deepseek|grok1|llama3]
  *                          [--bursty]
  *       Record an LLM phase-profile source (shaped by a Poisson arrival
  *       process) into a trace file. decode: mixed weight streams + KV
@@ -12,6 +13,11 @@
  *       a mixed serving phase — concurrent decode and prefill tenants
  *       (2:1 traffic split), each an independent open-loop Poisson
  *       stream, merged by arrival into one system-wide request stream.
+ *       deepseek/grok1/llama3: the per-model decode channel profile
+ *       (sim/memsim.h profileFor) — MLA latent gathers, MoE expert
+ *       streams, or dense GQA streams respectively; the recordings under
+ *       tests/data/{deepseek,grok1,llama3}.trace feed the node-scaling
+ *       bench as per-model design points.
  *       --bursty swaps each tenant's Poisson process for Poisson-arriving
  *       16-request bursts at the same long-run rate: batched-inference
  *       arrivals whose queue swings stress tail latency near the knee and
@@ -56,7 +62,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: trace_replay record <out.trace> [text|bin] [MiB] "
-                 "[decode|prefill|serve] [--bursty]\n"
+                 "[decode|prefill|serve|deepseek|grok1|llama3] "
+                 "[--bursty]\n"
                  "       trace_replay replay <in.trace> [hbm4|rome|hybrid]\n"
                  "       trace_replay stream <requests>\n");
     std::exit(2);
@@ -78,7 +85,9 @@ printStats(const char* what, const ControllerStats& s)
  * the default channel profile (mixed weight streams and KV/activation
  * gathers at ~75 % offered load); the prefill phase streams long weight
  * tensors and appends the prompt's KV cache — few, larger requests with
- * a substantial write share, offered near peak.
+ * a substantial write share, offered near peak. The model phases record
+ * the calibrated per-model decode profile (profileFor): what one channel
+ * of the evaluated model actually sees.
  */
 std::unique_ptr<RequestSource>
 phaseSource(std::uint64_t total_bytes, const std::string& phase,
@@ -96,6 +105,12 @@ phaseSource(std::uint64_t total_bytes, const std::string& phase,
         profile.streamBytes = 256 * 1024;
         profile.writeFraction = 0.35; // KV-cache appends
         offered = 0.85;
+    } else if (phase == "deepseek") {
+        profile = profileFor(deepseekV3());
+    } else if (phase == "grok1") {
+        profile = profileFor(grok1());
+    } else if (phase == "llama3") {
+        profile = profileFor(llama3_405b());
     } else if (phase != "decode") {
         usage();
     }

@@ -44,9 +44,10 @@ LOWER_IS_BETTER = ("seconds", "p99ns", "p999ns")
 # row that injected more faults, while latencyP99Ns on the same row stays a
 # real lower-is-better metric (retries inflate it honestly).
 INFORMATIONAL = ("cecount", "duecount", "retrycount", "scrubcount",
-                 "sparedrows")
+                 "sparedrows", "poisonedrequests", "schedsteps",
+                 "memoffsteps", "fffraction")
 IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
-                   "design", "pagePolicy", "load")
+                   "design", "pagePolicy", "load", "cubes", "router")
 
 
 def metric_direction(key):

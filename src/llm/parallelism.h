@@ -29,6 +29,13 @@ struct Parallelism
     int tpFfn = 8;
     /** Route MoE layers with expert parallelism. */
     bool expertParallel = true;
+    /**
+     * Pipeline-parallel stages the layer stack splits into. 1 = the whole
+     * model on every accelerator group. The node model (sim/node.h) maps
+     * stages to disjoint cube groups: a request's address picks its stage,
+     * TP then fans the payload across the cubes of one stage replica.
+     */
+    int ppStages = 1;
 
     /** Sequences processed per accelerator for a global batch @p b. */
     int

@@ -210,16 +210,17 @@ ConventionalMc::updateWriteDrain()
 void
 ConventionalMc::completeOp(const Op& op, Tick data_end)
 {
-    if (faults_.enabled() && deferForFault(op, data_end))
+    bool poisoned = false;
+    if (faults_.enabled() && deferForFault(op, data_end, poisoned))
         return; // correctable error: the op completes on a later re-read
     if (op.kind == ReqKind::Read)
         bytesRead_ += dramCfg_.org.columnBytes;
     else
         bytesWritten_ += dramCfg_.org.columnBytes;
     if (op.singleOp)
-        noteSingleOpDone(op.reqId, op.arrival, data_end);
+        noteSingleOpDone(op.reqId, op.arrival, data_end, poisoned);
     else
-        noteOpDone(op.reqId, data_end);
+        noteOpDone(op.reqId, data_end, poisoned);
 }
 
 // ---------------------------------------------------------------------------
@@ -227,18 +228,21 @@ ConventionalMc::completeOp(const Op& op, Tick data_end)
 // ---------------------------------------------------------------------------
 
 bool
-ConventionalMc::deferForFault(const Op& op, Tick data_end)
+ConventionalMc::deferForFault(const Op& op, Tick data_end, bool& poisoned)
 {
     // Writes carry no read data to check; DUEs deliver poisoned data
     // immediately (retrying an uncorrectable pattern cannot help — the
-    // injector already accounted the event).
+    // injector already accounted the event), flagged so the completion
+    // carries the poison bit up to the serving layer.
     if (op.kind != ReqKind::Read)
         return false;
     const int bank = flatBankIndex(dramCfg_.org, op.addr);
     const EccVerdict v =
         faults_.classifyRead(bank, op.addr.row, op.addr.col, 1);
-    if (v != EccVerdict::CorrectedError)
+    if (v != EccVerdict::CorrectedError) {
+        poisoned = v == EccVerdict::UncorrectableError;
         return false;
+    }
     if (op.attempt < faults_.config().retryLimit) {
         Op retry = op;
         ++retry.attempt;
@@ -1424,6 +1428,7 @@ ConventionalMc::stats() const
 {
     ControllerStats s;
     fillBaseStats(s);
+    s.memoFfSteps = ffSteps_;
     // Conventional MCs drive every DRAM command over the interface.
     s.interfaceCommands = s.rowCmds + s.colCmds;
     s.achievedBandwidth = achievedBandwidth();

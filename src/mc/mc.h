@@ -257,7 +257,7 @@ class ConventionalMc : public ChannelControllerBase
      * (or, past the CE sparing threshold, remap the row and replay the
      * op against the spare). True when the completion was deferred.
      */
-    bool deferForFault(const Op& op, Tick data_end);
+    bool deferForFault(const Op& op, Tick data_end, bool& poisoned);
     /** Queue a deferred re-read and track the earliest wake tick. */
     void queueRetry(Op op, Tick ready_at);
     /** Re-admit retries whose backoff expired (queue space permitting). */

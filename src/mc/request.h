@@ -40,6 +40,13 @@ struct Completion
 {
     std::uint64_t id = 0;
     Tick finished = 0;
+    /**
+     * The delivered data contains a detected-uncorrectable ECC error
+     * (sim/fault.h): the request completed on time, but at least one of
+     * its reads decoded as a DUE, so the payload is poisoned. Serving
+     * layers surface this per request instead of only counting DUEs.
+     */
+    bool poisoned = false;
 };
 
 } // namespace rome

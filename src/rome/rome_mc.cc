@@ -345,7 +345,8 @@ RomeMc::stepOnceIndexed(Tick until)
         lastRowCmdSid_ = op.cmd.addr.sid;
         lastRowCmdVba_ = op.cmd.addr;
 
-        if (faults_.enabled() && deferForFault(op, res.dataUntil)) {
+        bool poisoned = false;
+        if (faults_.enabled() && deferForFault(op, res.dataUntil, poisoned)) {
             // The transfer happened (busy tables and the outstanding CAM
             // above stand), but the data needs a retry: completion and
             // byte accounting wait for the attempt that reads clean.
@@ -359,9 +360,9 @@ RomeMc::stepOnceIndexed(Tick until)
         overfetch_ += res.bytes - op.usefulBytes;
 
         if (op.singleOp)
-            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil);
+            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned);
         else
-            noteOpDone(op.reqId, res.dataUntil);
+            noteOpDone(op.reqId, res.dataUntil, poisoned);
         if (memo_on) {
             memoRecordIssue(at, res, vbaKey(op.cmd.addr), best_idx,
                             admitted, occupancy, is_write);
@@ -523,7 +524,8 @@ RomeMc::stepOnceLegacy(Tick until)
         lastRowCmdSid_ = op.cmd.addr.sid;
         lastRowCmdVba_ = op.cmd.addr;
 
-        if (faults_.enabled() && deferForFault(op, res.dataUntil)) {
+        bool poisoned = false;
+        if (faults_.enabled() && deferForFault(op, res.dataUntil, poisoned)) {
             // Transfer happened; completion waits for a clean retry.
             return true;
         }
@@ -535,9 +537,9 @@ RomeMc::stepOnceLegacy(Tick until)
         overfetch_ += res.bytes - op.usefulBytes;
 
         if (op.singleOp)
-            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil);
+            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned);
         else
-            noteOpDone(op.reqId, res.dataUntil);
+            noteOpDone(op.reqId, res.dataUntil, poisoned);
         return true;
     }
 
@@ -594,7 +596,7 @@ RomeMc::stepOnceLegacy(Tick until)
 // ---------------------------------------------------------------------------
 
 bool
-RomeMc::deferForFault(const RowOp& op, Tick data_end)
+RomeMc::deferForFault(const RowOp& op, Tick data_end, bool& poisoned)
 {
     if (op.cmd.kind != RowCmdKind::RdRow)
         return false;
@@ -603,8 +605,12 @@ RomeMc::deferForFault(const RowOp& op, Tick data_end)
                                         baseCfg_.org.columnBytes);
     const EccVerdict v =
         faults_.classifyRead(vba, op.cmd.addr.row, 0, nlines);
-    if (v != EccVerdict::CorrectedError)
-        return false; // clean completes; a DUE completes poisoned
+    if (v != EccVerdict::CorrectedError) {
+        // Clean completes; a DUE completes with the poison bit set so the
+        // serving layer can count per-request poisoned completions.
+        poisoned = v == EccVerdict::UncorrectableError;
+        return false;
+    }
     if (op.attempt < faults_.config().retryLimit) {
         RowOp retry = op;
         ++retry.attempt;
@@ -1062,6 +1068,7 @@ RomeMc::stats() const
 {
     ControllerStats s;
     fillBaseStats(s);
+    s.memoFfSteps = ffSteps_;
     s.overfetchBytes = overfetch_;
     // Only row-level commands cross the MC↔HBM interface (REF counts too);
     // the command generator expands them on the logic die.

@@ -205,7 +205,7 @@ class RomeMc : public ChannelControllerBase
     // ---- reliability (sim/fault.h) --------------------------------------
     /** Classify a completed read against the fault model; returns true if
      *  the completion was deferred (retry or spare-replay queued). */
-    bool deferForFault(const RowOp& op, Tick data_end);
+    bool deferForFault(const RowOp& op, Tick data_end, bool& poisoned);
     void queueRetry(RowOp op, Tick ready_at);
     /** Move backoff-expired retries back into the request queue. */
     void pumpRetries();

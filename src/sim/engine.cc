@@ -23,6 +23,8 @@ ControllerStats::operator==(const ControllerStats& o) const
            ceCount == o.ceCount && dueCount == o.dueCount &&
            retryCount == o.retryCount && scrubCount == o.scrubCount &&
            sparedRows == o.sparedRows &&
+           poisonedRequests == o.poisonedRequests &&
+           // schedSteps/memoFfSteps deliberately excluded (see engine.h).
            finishedAt == o.finishedAt &&
            achievedBandwidth == o.achievedBandwidth &&
            effectiveBandwidth == o.effectiveBandwidth &&
@@ -68,6 +70,9 @@ ControllerStats::merge(const ControllerStats& o)
     retryCount += o.retryCount;
     scrubCount += o.scrubCount;
     sparedRows += o.sparedRows;
+    poisonedRequests += o.poisonedRequests;
+    schedSteps += o.schedSteps;
+    memoFfSteps += o.memoFfSteps;
     finishedAt = std::max(finishedAt, o.finishedAt);
     latencyMaxNs = std::max(latencyMaxNs, o.latencyMaxNs);
     // Bucket counts add, so merged percentiles are exact — identical to a
@@ -180,16 +185,22 @@ ChannelControllerBase::pumpArrivals()
 }
 
 void
-ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
+ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end,
+                                  bool poisoned)
 {
     auto it = inflight_.find(req_id);
     if (it == inflight_.end())
         panic("completion for unknown request %llu",
               static_cast<unsigned long long>(req_id));
+    it->second.poisoned |= poisoned;
     if (--it->second.opsRemaining == 0) {
         ++completedCount_;
-        if (retainCompletions_)
-            completions_.push_back(Completion{req_id, data_end});
+        if (it->second.poisoned)
+            ++poisonedCount_;
+        if (retainCompletions_) {
+            completions_.push_back(
+                Completion{req_id, data_end, it->second.poisoned});
+        }
         const double lat_ns = nsFromTicks(data_end - it->second.arrival);
         latencyNs_.sample(lat_ns);
         latencyHistNs_.sample(lat_ns);
@@ -199,12 +210,14 @@ ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end)
 
 void
 ChannelControllerBase::noteSingleOpDone(std::uint64_t req_id, Tick arrival,
-                                        Tick data_end)
+                                        Tick data_end, bool poisoned)
 {
     --singleOpsPending_;
     ++completedCount_;
+    if (poisoned)
+        ++poisonedCount_;
     if (retainCompletions_)
-        completions_.push_back(Completion{req_id, data_end});
+        completions_.push_back(Completion{req_id, data_end, poisoned});
     const double lat_ns = nsFromTicks(data_end - arrival);
     latencyNs_.sample(lat_ns);
     latencyHistNs_.sample(lat_ns);
@@ -256,6 +269,8 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
     s.retryCount = faults_.retryCount();
     s.scrubCount = faults_.scrubCount();
     s.sparedRows = faults_.sparedRows();
+    s.poisonedRequests = poisonedCount_;
+    s.schedSteps = steps_;
     const auto& c = device().counters();
     s.acts = c.acts.value();
     s.pres = c.pres.value();

@@ -94,6 +94,24 @@ struct ControllerStats
     std::uint64_t scrubCount = 0;
     /** Rows remapped into the spare region after repeated CEs. */
     std::uint64_t sparedRows = 0;
+    /**
+     * Requests that completed carrying poisoned data (at least one DUE
+     * among their reads). dueCount counts codewords; this counts host
+     * requests, so the serving layer can report a per-request poison rate.
+     */
+    std::uint64_t poisonedRequests = 0;
+
+    // ---- scheduling throughput (diagnostic; merge-added, not compared) ---
+    /**
+     * Scheduling steps executed, and how many of those were covered by
+     * epoch-memoization fast-forward (mc/epoch.h). Their ratio is the
+     * per-run fast-forward coverage surfaced in RatePoint. Excluded from
+     * operator== because step counts are an implementation diagnostic:
+     * legacy/indexed and eager/streaming drives may legitimately chop
+     * idle jumps differently while producing identical results.
+     */
+    std::uint64_t schedSteps = 0;
+    std::uint64_t memoFfSteps = 0;
 
     // ---- derived --------------------------------------------------------
     /** Last data-transfer end tick. */
@@ -379,6 +397,8 @@ class ChannelControllerBase : public IMemoryController
     {
         Tick arrival;
         int opsRemaining; // not yet completed
+        /** Any op of this request read poisoned (DUE) data. */
+        bool poisoned = false;
     };
 
     /**
@@ -409,16 +429,19 @@ class ChannelControllerBase : public IMemoryController
     /**
      * Account one finished operation of request @p req_id; records the
      * completion and samples latency when it was the last one.
+     * @p poisoned marks this op's data as carrying a DUE; the request's
+     * completion is poisoned if any of its ops were.
      */
-    void noteOpDone(std::uint64_t req_id, Tick data_end);
+    void noteOpDone(std::uint64_t req_id, Tick data_end,
+                    bool poisoned = false);
 
     /**
      * Completion fast path for a request that decomposed into exactly one
      * operation (the caller knows from its admission-time chunking, and
      * carries the arrival tick in the op): no in-flight map traffic.
      */
-    void noteSingleOpDone(std::uint64_t req_id, Tick arrival,
-                          Tick data_end);
+    void noteSingleOpDone(std::uint64_t req_id, Tick arrival, Tick data_end,
+                          bool poisoned = false);
 
     /** Fill the base-owned fields of @p s (bytes, latency, bandwidth). */
     void fillBaseStats(ControllerStats& s) const;
@@ -469,6 +492,8 @@ class ChannelControllerBase : public IMemoryController
     std::size_t sourceWindow_ = 8;
     std::size_t hostPeak_ = 0;
     std::uint64_t completedCount_ = 0;
+    /** Completed requests whose data carried at least one DUE. */
+    std::uint64_t poisonedCount_ = 0;
     /** In-flight single-operation requests (kept out of inflight_). */
     std::uint64_t singleOpsPending_ = 0;
     bool retainCompletions_ = true;

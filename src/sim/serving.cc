@@ -74,6 +74,39 @@ ServingDriver::run(double offered_rps) const
     return res;
 }
 
+RatePoint
+makeRatePoint(double offered_rps, double achieved_rps,
+              const ControllerStats& aggregate,
+              double saturation_tolerance)
+{
+    RatePoint pt;
+    pt.offeredRps = offered_rps;
+    pt.achievedRps = achieved_rps;
+    pt.completedRequests = aggregate.completedRequests;
+    pt.p50Ns = aggregate.latencyPercentileNs(50.0);
+    pt.p90Ns = aggregate.latencyPercentileNs(90.0);
+    pt.p99Ns = aggregate.latencyPercentileNs(99.0);
+    pt.p999Ns = aggregate.latencyPercentileNs(99.9);
+    pt.maxNs = aggregate.latencyHistNs.maxNs();
+    pt.meanNs = aggregate.latencyHistNs.meanNs();
+    pt.effectiveBandwidth = aggregate.effectiveBandwidth;
+    pt.ceCount = aggregate.ceCount;
+    pt.dueCount = aggregate.dueCount;
+    pt.retryCount = aggregate.retryCount;
+    pt.scrubCount = aggregate.scrubCount;
+    pt.sparedRows = aggregate.sparedRows;
+    pt.poisonedRequests = aggregate.poisonedRequests;
+    pt.schedSteps = aggregate.schedSteps;
+    pt.memoFfSteps = aggregate.memoFfSteps;
+    if (aggregate.schedSteps > 0) {
+        pt.ffFraction = static_cast<double>(aggregate.memoFfSteps) /
+                        static_cast<double>(aggregate.schedSteps);
+    }
+    pt.saturated =
+        pt.achievedRps < pt.offeredRps * (1.0 - saturation_tolerance);
+    return pt;
+}
+
 RateSweep
 runRateSweep(const ServingDriver& driver,
              const std::vector<double>& offered_rps,
@@ -83,24 +116,9 @@ runRateSweep(const ServingDriver& driver,
     sweep.points.reserve(offered_rps.size());
     for (const double rps : offered_rps) {
         const ServingResult res = driver.run(rps);
-        RatePoint pt;
-        pt.offeredRps = res.offeredRps;
-        pt.achievedRps = res.achievedRps;
-        pt.completedRequests = res.aggregate.completedRequests;
-        pt.p50Ns = res.aggregate.latencyPercentileNs(50.0);
-        pt.p90Ns = res.aggregate.latencyPercentileNs(90.0);
-        pt.p99Ns = res.aggregate.latencyPercentileNs(99.0);
-        pt.p999Ns = res.aggregate.latencyPercentileNs(99.9);
-        pt.maxNs = res.aggregate.latencyHistNs.maxNs();
-        pt.meanNs = res.aggregate.latencyHistNs.meanNs();
-        pt.effectiveBandwidth = res.aggregate.effectiveBandwidth;
-        pt.ceCount = res.aggregate.ceCount;
-        pt.dueCount = res.aggregate.dueCount;
-        pt.retryCount = res.aggregate.retryCount;
-        pt.scrubCount = res.aggregate.scrubCount;
-        pt.sparedRows = res.aggregate.sparedRows;
-        pt.saturated =
-            pt.achievedRps < pt.offeredRps * (1.0 - saturation_tolerance);
+        const RatePoint pt = makeRatePoint(res.offeredRps, res.achievedRps,
+                                           res.aggregate,
+                                           saturation_tolerance);
         if (pt.saturated && sweep.kneeIndex < 0)
             sweep.kneeIndex = static_cast<int>(sweep.points.size());
         sweep.points.push_back(pt);
@@ -127,6 +145,10 @@ ratePointJson(JsonWriter& w, const RatePoint& pt)
     w.key("retryCount").value(pt.retryCount);
     w.key("scrubCount").value(pt.scrubCount);
     w.key("sparedRows").value(pt.sparedRows);
+    w.key("poisonedRequests").value(pt.poisonedRequests);
+    w.key("schedSteps").value(pt.schedSteps);
+    w.key("memoFfSteps").value(pt.memoFfSteps);
+    w.key("ffFraction").value(pt.ffFraction);
 }
 
 } // namespace rome

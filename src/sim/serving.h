@@ -138,6 +138,15 @@ struct RatePoint
     std::uint64_t retryCount = 0;
     std::uint64_t scrubCount = 0;
     std::uint64_t sparedRows = 0;
+    /** Requests that completed carrying poisoned (DUE) data. */
+    std::uint64_t poisonedRequests = 0;
+    // ---- epoch-memoization coverage (mc/epoch.h) ----------------------
+    /** Scheduling steps executed across all channels at this point. */
+    std::uint64_t schedSteps = 0;
+    /** Steps covered by epoch fast-forward instead of stepping. */
+    std::uint64_t memoFfSteps = 0;
+    /** memoFfSteps / schedSteps — 0 when memoization never engaged. */
+    double ffFraction = 0.0;
 };
 
 /** An offered-rate sweep: the latency–throughput curve plus its knee. */
@@ -165,6 +174,17 @@ struct RateSweep
 RateSweep runRateSweep(const ServingDriver& driver,
                        const std::vector<double>& offered_rps,
                        double saturation_tolerance = 0.05);
+
+/**
+ * Assemble one latency–throughput point from an aggregate stats
+ * snapshot. Shared by runRateSweep and the node-level sweep
+ * (sim/node.h), so cube- and node-level curves report the same schema —
+ * percentiles from the exact merged histogram, reliability counters,
+ * and epoch-memoization fast-forward coverage.
+ */
+RatePoint makeRatePoint(double offered_rps, double achieved_rps,
+                        const ControllerStats& aggregate,
+                        double saturation_tolerance);
 
 /**
  * Emit @p pt's key/value pairs (offeredRps, achievedRps, latencyP50Ns,
