@@ -14,6 +14,9 @@
  * Results are emitted as a table and as machine-readable BENCH_sched.json
  * (uploaded by the bench-smoke CI job), establishing the repo's perf
  * trajectory. `--quick` runs a reduced grid for CI smoke runs.
+ *
+ * Under -DROME_ORACLES=OFF the legacy/scalar oracle columns are compiled
+ * out: the bench times only the fast paths and skips the parity asserts.
  */
 
 #include <algorithm>
@@ -238,21 +241,26 @@ main(int argc, char** argv)
             const auto reqs =
                 buildWorkload(wl, total, dram.org.channelCapacity());
             for (const int depth : depths) {
-                McConfig legacy_cfg;
-                legacy_cfg.readQueueDepth = depth;
-                legacy_cfg.writeQueueDepth = depth;
-                legacy_cfg.legacyScheduler = true;
-                McConfig indexed_cfg = legacy_cfg;
-                indexed_cfg.legacyScheduler = false;
+                McConfig indexed_cfg;
+                indexed_cfg.readQueueDepth = depth;
+                indexed_cfg.writeQueueDepth = depth;
 
-                ConventionalMc legacy(dram, bestBaselineMapping(dram.org),
-                                      legacy_cfg);
                 ConventionalMc indexed(dram, bestBaselineMapping(dram.org),
                                        indexed_cfg);
-                const RunResult lr = timedDrain(legacy, reqs);
+                // The legacy rescan scheduler is the baseline column and
+                // the stats oracle; ROME_ORACLES=OFF builds compile it
+                // out and report the fast path alone.
+                RunResult lr;
+#if ROME_ORACLES
+                McConfig legacy_cfg = indexed_cfg;
+                legacy_cfg.legacyScheduler = true;
+                ConventionalMc legacy(dram, bestBaselineMapping(dram.org),
+                                      legacy_cfg);
+                lr = timedDrain(legacy, reqs);
+#endif
                 const RunResult ir = timedDrain(indexed, reqs);
 
-                const bool match = lr.stats == ir.stats;
+                const bool match = !ROME_ORACLES || lr.stats == ir.stats;
                 all_match = all_match && match;
                 const double speedup =
                     ir.seconds > 0.0 ? lr.seconds / ir.seconds : 0.0;
@@ -293,25 +301,32 @@ main(int argc, char** argv)
             for (const int depth : depths) {
                 if (depth < 64)
                     continue; // RoMe saturates at tiny depths; bench deep
-                RomeMcConfig legacy_cfg;
-                legacy_cfg.queueDepth = depth;
-                legacy_cfg.legacyScheduler = true;
-                legacy_cfg.scalarLowering = true;
-                RomeMcConfig scalar_cfg;
-                scalar_cfg.queueDepth = depth;
-                scalar_cfg.scalarLowering = true;
                 RomeMcConfig template_cfg;
                 template_cfg.queueDepth = depth;
 
+                RomeMc tmpl(dram, VbaDesign::adopted(), template_cfg);
+                // Scalar lowering and the legacy scheduler are the
+                // baseline columns and the three-way stats oracle;
+                // ROME_ORACLES=OFF builds compile them out and report
+                // the template path alone.
+                RunResult lr;
+                RunResult sr;
+#if ROME_ORACLES
+                RomeMcConfig legacy_cfg = template_cfg;
+                legacy_cfg.legacyScheduler = true;
+                legacy_cfg.scalarLowering = true;
+                RomeMcConfig scalar_cfg = template_cfg;
+                scalar_cfg.scalarLowering = true;
                 RomeMc legacy(dram, VbaDesign::adopted(), legacy_cfg);
                 RomeMc scalar(dram, VbaDesign::adopted(), scalar_cfg);
-                RomeMc tmpl(dram, VbaDesign::adopted(), template_cfg);
-                const RunResult lr = timedDrain(legacy, reqs);
-                const RunResult sr = timedDrain(scalar, reqs);
+                lr = timedDrain(legacy, reqs);
+                sr = timedDrain(scalar, reqs);
+#endif
                 const RunResult tr = timedDrain(tmpl, reqs);
 
                 const bool match =
-                    lr.stats == sr.stats && sr.stats == tr.stats;
+                    !ROME_ORACLES ||
+                    (lr.stats == sr.stats && sr.stats == tr.stats);
                 all_match = all_match && match;
                 const double lowering_speedup =
                     tr.seconds > 0.0 ? sr.seconds / tr.seconds : 0.0;

@@ -18,11 +18,13 @@
  * Both feed the exit status. `--quick` runs a reduced grid for CI smoke.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_writer.h"
@@ -111,6 +113,38 @@ struct CurveRow
     double load = 0.0; ///< offered rate as a fraction of cube peak
     RatePoint pt;
 };
+
+/**
+ * Exact field-by-field equality for merged-sweep verification: the
+ * sharded walk must reproduce the serial curve bit-for-bit, doubles
+ * included — every point is a self-contained run, so even the
+ * histogram-derived percentiles admit no tolerance.
+ */
+bool
+samePoint(const RatePoint& a, const RatePoint& b)
+{
+    return a.offeredRps == b.offeredRps &&
+           a.achievedRps == b.achievedRps &&
+           a.completedRequests == b.completedRequests &&
+           a.p50Ns == b.p50Ns && a.p90Ns == b.p90Ns &&
+           a.p99Ns == b.p99Ns && a.p999Ns == b.p999Ns &&
+           a.maxNs == b.maxNs && a.meanNs == b.meanNs &&
+           a.effectiveBandwidth == b.effectiveBandwidth &&
+           a.saturated == b.saturated && a.ceCount == b.ceCount &&
+           a.dueCount == b.dueCount && a.retryCount == b.retryCount &&
+           a.scrubCount == b.scrubCount && a.sparedRows == b.sparedRows &&
+           a.poisonedRequests == b.poisonedRequests &&
+           a.schedSteps == b.schedSteps &&
+           a.memoFfSteps == b.memoFfSteps;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
 
 } // namespace
 
@@ -239,6 +273,104 @@ main(int argc, char** argv)
         }
     }
 
+    // Sharded rate sweeps: split the rate points of one RoMe sweep
+    // across 4 workers (engine threads pinned to 1 so point-sharding is
+    // the only parallelism) and demand (a) a bit-identical merged curve
+    // always, and (b) >= 1.5x wall-clock speedup in full mode on a
+    // machine with at least 4 cores.
+    bool sharded_identical = true;
+    bool sharded_fast_enough = true;
+    double serial_secs = 0.0;
+    double sharded_secs = 0.0;
+    double sharded_speedup = 0.0;
+    const int sweep_workers = 4;
+    {
+        const std::string path =
+            std::string(ROME_SOURCE_DIR) + "/tests/data/serving.trace";
+        if (std::ifstream(path).good()) {
+            const std::uint64_t sweep_cap = quick ? 5000 : 20000;
+            ServingConfig cfg;
+            cfg.makeController = systemFactory("rome", dram);
+            cfg.makeSystemSource = workloadSource(path, false, sweep_cap);
+            cfg.numChannels = channels;
+            cfg.threads = 1;
+            const ServingDriver driver(cfg);
+            const double base_rps =
+                cube_peak * 1e9 /
+                scanSource(*cfg.makeSystemSource()).meanBytes;
+            std::vector<double> rates;
+            for (const double l : loads)
+                rates.push_back(l * base_rps);
+
+            auto t0 = std::chrono::steady_clock::now();
+            const RateSweep serial = runRateSweep(driver, rates, 0.05, 1);
+            serial_secs = secondsSince(t0);
+            t0 = std::chrono::steady_clock::now();
+            const RateSweep sharded =
+                runRateSweep(driver, rates, 0.05, sweep_workers);
+            sharded_secs = secondsSince(t0);
+            sharded_speedup =
+                sharded_secs > 0.0 ? serial_secs / sharded_secs : 0.0;
+
+            sharded_identical =
+                serial.kneeIndex == sharded.kneeIndex &&
+                serial.points.size() == sharded.points.size();
+            for (std::size_t i = 0;
+                 sharded_identical && i < serial.points.size(); ++i)
+                sharded_identical =
+                    samePoint(serial.points[i], sharded.points[i]);
+            if (!sharded_identical)
+                std::fprintf(stderr, "SHARDED SWEEP DIVERGED from the "
+                                     "serial walk — BUG\n");
+            // The speedup bar only binds where it is meaningful: the
+            // full-size sweep on hardware that can host the workers.
+            // --quick points are too short to amortize thread spin-up.
+            if (!quick && std::thread::hardware_concurrency() >=
+                              static_cast<unsigned>(sweep_workers))
+                sharded_fast_enough = sharded_speedup >= 1.5;
+            std::printf("\nsharded sweep (%d workers): %.2fs vs %.2fs "
+                        "serial — %.2fx speedup, merged curve %s\n",
+                        sweep_workers, sharded_secs, serial_secs,
+                        sharded_speedup,
+                        sharded_identical ? "bit-identical" : "DIVERGED");
+        }
+    }
+
+    // Checkpoint smoke: snapshot one mid-grid run a third of the way
+    // through its straight-run span, resume from the blobs, and demand
+    // the resumed stats match the uninterrupted run exactly.
+    bool checkpoint_exact = true;
+    {
+        const std::string path =
+            std::string(ROME_SOURCE_DIR) + "/tests/data/serving.trace";
+        if (std::ifstream(path).good()) {
+            ServingConfig cfg;
+            cfg.makeController = systemFactory("rome", dram);
+            cfg.makeSystemSource =
+                workloadSource(path, false, quick ? 5000 : 20000);
+            cfg.numChannels = channels;
+            cfg.threads = 1;
+            const ServingDriver driver(cfg);
+            const double rps =
+                0.7 * cube_peak * 1e9 /
+                scanSource(*cfg.makeSystemSource()).meanBytes;
+            const ServingResult straight = driver.run(rps);
+            const CubeCheckpoint ck =
+                driver.runToCheckpoint(rps, straight.finishedAt / 3);
+            const ServingResult resumed = driver.resume(ck);
+            checkpoint_exact =
+                resumed.finishedAt == straight.finishedAt &&
+                resumed.offeredRps == straight.offeredRps &&
+                resumed.achievedRps == straight.achievedRps &&
+                resumed.aggregate == straight.aggregate &&
+                resumed.perChannel == straight.perChannel;
+            std::printf("checkpoint resume at tick %lld: %s\n",
+                        static_cast<long long>(ck.takenAt),
+                        checkpoint_exact ? "matches straight run exactly"
+                                         : "DIVERGED — BUG");
+        }
+    }
+
     std::printf("\np99 monotone up to saturation: %s | thread-count "
                 "invariant: %s\n",
                 monotone ? "yes" : "NO — BUG",
@@ -251,6 +383,12 @@ main(int argc, char** argv)
     json.key("channels").value(channels);
     json.key("monotoneP99").value(monotone);
     json.key("threadCountInvariant").value(deterministic);
+    json.key("shardedWorkers").value(sweep_workers);
+    json.key("serialSweepSeconds").value(serial_secs);
+    json.key("shardedSweepSeconds").value(sharded_secs);
+    json.key("shardedSpeedup").value(sharded_speedup);
+    json.key("shardedPointsIdentical").value(sharded_identical);
+    json.key("checkpointResumeExact").value(checkpoint_exact);
     json.key("rows").beginArray();
     for (const auto& row : rows) {
         json.beginObject();
@@ -267,5 +405,8 @@ main(int argc, char** argv)
     const bool wrote = writeTextFile("BENCH_serving.json", json.str());
     std::printf("%s BENCH_serving.json\n",
                 wrote ? "wrote" : "FAILED to write");
-    return monotone && deterministic && wrote ? 0 : 1;
+    return monotone && deterministic && sharded_identical &&
+                   sharded_fast_enough && checkpoint_exact && wrote
+               ? 0
+               : 1;
 }

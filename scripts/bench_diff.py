@@ -42,10 +42,13 @@ HIGHER_IS_BETTER = ("stepspersec", "speedup")
 LOWER_IS_BETTER = ("seconds", "p99ns", "p999ns")
 # Reliability counters are descriptive, not perf: a row with more CEs is a
 # row that injected more faults, while latencyP99Ns on the same row stays a
-# real lower-is-better metric (retries inflate it honestly).
+# real lower-is-better metric (retries inflate it honestly). Sweep
+# wall-clock columns (serialSweepSeconds / shardedSweepSeconds) are
+# machine-load-sensitive, so they display but never gate — checked before
+# the generic "seconds" suffix would make them lower-is-better.
 INFORMATIONAL = ("cecount", "duecount", "retrycount", "scrubcount",
                  "sparedrows", "poisonedrequests", "schedsteps",
-                 "memoffsteps", "fffraction")
+                 "memoffsteps", "fffraction", "sweepseconds")
 IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
                    "design", "pagePolicy", "load", "cubes", "router")
 
@@ -86,10 +89,15 @@ def compare_metrics(ident, old, new, threshold, report):
 
 
 def steps_metrics(data):
-    """Every *StepsPerSec metric of a bench file as {'ident key': value}."""
+    """Every *StepsPerSec metric of a bench file as {'ident key': value}.
+
+    Top-level *SweepSeconds wall-clock columns ride along for the
+    trajectory table: informational only — the history is display-only
+    and the row diff never sees top-level keys, so they cannot gate.
+    """
     out = {}
     for key, val in data.items():
-        if key.lower().endswith("stepspersec") and \
+        if key.lower().endswith(("stepspersec", "sweepseconds")) and \
                 isinstance(val, (int, float)):
             out[key] = val
     for row in data.get("rows", []):
@@ -146,7 +154,7 @@ def append_history(argv):
     with open(history, "a") as f:
         f.write(json.dumps(entry, sort_keys=True) + "\n")
     n = sum(len(m) for m in entry["benches"].values())
-    print(f"append-history: {history}: recorded {n} steps/s metric(s) "
+    print(f"append-history: {history}: recorded {n} trajectory metric(s) "
           f"from {len(entry['benches'])} bench(es)")
     return 0
 
@@ -192,8 +200,8 @@ def history_table(argv):
         sha = entry.get("sha", "")
         return sha[:9] if sha else "?"
 
-    print(f"steps/s across the last {len(entries)} run(s), "
-          "oldest first:")
+    print(f"throughput and sweep wall-clock across the last "
+          f"{len(entries)} run(s), oldest first:")
     print()
     print("| metric | " + " | ".join(col(e) for e in entries) + " |")
     print("|---" * (len(entries) + 1) + "|")

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/checkpoint.h"
+
 namespace rome
 {
 
@@ -26,6 +28,9 @@ class Counter
     void inc(std::uint64_t n = 1) { value_ += n; }
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
+
+    void saveState(CheckpointWriter& w) const { w.putU64(value_); }
+    void loadState(CheckpointReader& r) { value_ = r.getU64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -80,6 +85,26 @@ class Accumulator
     }
     /** Population variance. */
     double variance() const;
+
+    void
+    saveState(CheckpointWriter& w) const
+    {
+        w.putU64(count_);
+        w.putF64(sum_);
+        w.putF64(sumSq_);
+        w.putF64(min_);
+        w.putF64(max_);
+    }
+
+    void
+    loadState(CheckpointReader& r)
+    {
+        count_ = r.getU64();
+        sum_ = r.getF64();
+        sumSq_ = r.getF64();
+        min_ = r.getF64();
+        max_ = r.getF64();
+    }
 
   private:
     std::uint64_t count_ = 0;
@@ -156,6 +181,43 @@ class LatencyHistogram
     /** Exact-state equality (bucket counts and min/max/sum/count). */
     bool operator==(const LatencyHistogram& o) const;
     bool operator!=(const LatencyHistogram& o) const { return !(*this == o); }
+
+    /** Sparse serialization: only populated buckets are written. */
+    void
+    saveState(CheckpointWriter& w) const
+    {
+        w.putU64(count_);
+        w.putF64(sum_);
+        w.putF64(min_);
+        w.putF64(max_);
+        std::uint64_t populated = 0;
+        for (const std::uint64_t b : buckets_)
+            populated += b != 0;
+        w.putCount(static_cast<std::size_t>(populated));
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            if (buckets_[i] != 0) {
+                w.putU32(static_cast<std::uint32_t>(i));
+                w.putU64(buckets_[i]);
+            }
+        }
+    }
+
+    void
+    loadState(CheckpointReader& r)
+    {
+        *this = LatencyHistogram{};
+        count_ = r.getU64();
+        sum_ = r.getF64();
+        min_ = r.getF64();
+        max_ = r.getF64();
+        const std::size_t populated = r.getCount();
+        for (std::size_t k = 0; k < populated; ++k) {
+            const std::uint32_t i = r.getU32();
+            if (i >= buckets_.size())
+                fatal("latency-histogram bucket index %u out of range", i);
+            buckets_[i] = r.getU64();
+        }
+    }
 
   private:
     std::array<std::uint64_t, kNumBuckets> buckets_{};

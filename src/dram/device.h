@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/address.h"
@@ -368,6 +369,19 @@ class ChannelDevice
     /** Add @p epochs times the per-epoch delta @p d to the counters. */
     void advanceCounters(const DeviceCounterDelta& d, std::uint64_t epochs);
 
+    // ---- checkpoint / restore (common/checkpoint.h) ---------------------
+
+    /**
+     * Serialize every mutable timing record (banks, SIDs, PCs including
+     * the command-bus slot calendars), lastDataEnd and the counters.
+     * Geometry, timing parameters and derived floors are reproduced by
+     * constructing the restore target with the same configuration.
+     */
+    void saveState(CheckpointWriter& w) const;
+
+    /** Inverse of saveState into an identically configured device. */
+    void loadState(CheckpointReader& r);
+
   private:
     /** Tracking shared by the banks of one (PC, SID). */
     struct SidRecord
@@ -500,6 +514,25 @@ class ChannelDevice
             out.push_back(static_cast<Tick>(occupied_.end() - it));
             for (auto i = it; i != occupied_.end(); ++i)
                 out.push_back(*i - base);
+        }
+
+        /** Serialize only the live suffix; the retired prefix can never
+         *  conflict again, so dropping it is behavior-preserving. */
+        void
+        saveState(CheckpointWriter& w) const
+        {
+            w.putCount(occupied_.size() - head_);
+            for (std::size_t i = head_; i < occupied_.size(); ++i)
+                w.putI64(occupied_[i]);
+        }
+
+        void
+        loadState(CheckpointReader& r)
+        {
+            head_ = 0;
+            occupied_.resize(r.getCount());
+            for (Tick& t : occupied_)
+                t = r.getI64();
         }
 
       private:

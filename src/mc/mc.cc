@@ -53,6 +53,11 @@ ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
 {
     if (cfg_.readQueueDepth < 1 || cfg_.writeQueueDepth < 1)
         fatal("queue depths must be positive");
+#if !ROME_ORACLES
+    if (cfg_.legacyScheduler)
+        fatal("McConfig::legacyScheduler is a test-only oracle compiled "
+              "out of this build — reconfigure with -DROME_ORACLES=ON");
+#endif
     // One SEC-DED codeword per 32 B line: every read CAS is classified
     // as exactly one codeword. Fault domains are flat bank indices.
     faults_.configure(cfg_.faults, cfg.org.banksPerChannel(),
@@ -809,7 +814,8 @@ ConventionalMc::stepOnceIndexed(Tick until)
         }
         const Tick next = idleWakeTick(adaptive_next);
         if (next == kTickMax || next > until) {
-            now_ = std::min(until, kTickMax);
+            // Nothing can happen before the bound: now_ stays on its last
+            // event tick so decisions never depend on where time sliced.
             return false;
         }
         now_ = next;
@@ -817,7 +823,7 @@ ConventionalMc::stepOnceIndexed(Tick until)
     }
 
     if (best.earliest > until) {
-        now_ = until;
+        // Retried verbatim from the same event tick by the next call.
         return false;
     }
 
@@ -1094,8 +1100,7 @@ ConventionalMc::memoReplayStep(Tick until, bool& progressed)
     if (dev_.earliestIssue(cmd, now_) != expect)
         return false;
     if (expect > until) {
-        now_ = until; // runUntil clamp: this step is retried verbatim
-        progressed = false;
+        progressed = false; // runUntil seam: retried verbatim next call
         return true;
     }
 
@@ -1133,8 +1138,12 @@ ConventionalMc::memoReplayStep(Tick until, bool& progressed)
 }
 
 // ---------------------------------------------------------------------------
-// Legacy scheduler (the seed's rescan-everything loop; decision oracle)
+// Legacy scheduler (the seed's rescan-everything loop; decision oracle).
+// Test-only: compiled out under -DROME_ORACLES=OFF — the constructor
+// rejects cfg_.legacyScheduler there, so the stubs are unreachable.
 // ---------------------------------------------------------------------------
+
+#if ROME_ORACLES
 
 void
 ConventionalMc::collectRefreshCandidates(std::vector<Candidate>& out) const
@@ -1328,7 +1337,7 @@ ConventionalMc::stepOnceLegacy(Tick until)
         }
         const Tick next = idleWakeTick(adaptive_next);
         if (next == kTickMax || next > until) {
-            now_ = std::min(until, kTickMax);
+            // now_ stays on its last event tick (slice invariance).
             return false;
         }
         now_ = next;
@@ -1346,7 +1355,7 @@ ConventionalMc::stepOnceLegacy(Tick until)
     }
 
     if (best->earliest > until) {
-        now_ = until;
+        // Retried verbatim from the same event tick by the next call.
         return false;
     }
 
@@ -1373,6 +1382,28 @@ ConventionalMc::stepOnceLegacy(Tick until)
     }
     return true;
 }
+
+#else // !ROME_ORACLES
+
+void
+ConventionalMc::collectRefreshCandidates(std::vector<Candidate>&) const
+{
+    panic("legacy oracle compiled out (ROME_ORACLES=OFF)");
+}
+
+void
+ConventionalMc::collectOpCandidates(std::vector<Candidate>&) const
+{
+    panic("legacy oracle compiled out (ROME_ORACLES=OFF)");
+}
+
+bool
+ConventionalMc::stepOnceLegacy(Tick)
+{
+    panic("legacy oracle compiled out (ROME_ORACLES=OFF)");
+}
+
+#endif // ROME_ORACLES
 
 // ---------------------------------------------------------------------------
 // Statistics
@@ -1435,6 +1466,236 @@ ConventionalMc::stats() const
     s.effectiveBandwidth = s.achievedBandwidth;
     s.rowHitRate = rowHitRate();
     return s;
+}
+
+// ---- checkpointing -------------------------------------------------------
+
+namespace
+{
+
+void
+putDramAddress(CheckpointWriter& w, const DramAddress& a)
+{
+    w.putI32(a.pc);
+    w.putI32(a.sid);
+    w.putI32(a.bg);
+    w.putI32(a.bank);
+    w.putI32(a.row);
+    w.putI32(a.col);
+}
+
+DramAddress
+getDramAddress(CheckpointReader& r)
+{
+    DramAddress a;
+    a.pc = r.getI32();
+    a.sid = r.getI32();
+    a.bg = r.getI32();
+    a.bank = r.getI32();
+    a.row = r.getI32();
+    a.col = r.getI32();
+    return a;
+}
+
+} // namespace
+
+void
+ConventionalMc::saveCheckpoint(CheckpointWriter& w) const
+{
+    const auto put_op = [&w](const Op& op) {
+        putDramAddress(w, op.addr);
+        w.putU64(op.reqId);
+        w.putU8(static_cast<std::uint8_t>(op.kind));
+        w.putI64(op.arrival);
+        w.putBool(op.singleOp);
+        w.putI32(op.attempt);
+    };
+    const auto put_bank_list = [&w](const BankList& l) {
+        w.putI32(l.head);
+        w.putI32(l.tail);
+        w.putI32(l.count);
+        w.putI32(l.hitCount);
+        w.putI32(l.hitRep);
+        w.putI64(l.minArrivalLb);
+    };
+
+    saveBaseState(w);
+    dev_.saveState(w);
+
+    w.putCount(readQ_.size());
+    for (const Op& op : readQ_)
+        put_op(op);
+    w.putCount(writeQ_.size());
+    for (const Op& op : writeQ_)
+        put_op(op);
+
+    w.putCount(pool_.size());
+    for (const OpNode& n : pool_) {
+        put_op(n.op);
+        w.putU64(n.seq);
+        w.putI32(n.bank);
+        w.putI32(n.prev);
+        w.putI32(n.next);
+    }
+    w.putCount(freeNodes_.size());
+    for (const int n : freeNodes_)
+        w.putI32(n);
+    w.putCount(bankIx_.size());
+    for (const BankEntry& e : bankIx_) {
+        put_bank_list(e.read);
+        put_bank_list(e.write);
+        w.putI32(e.activePos);
+        w.putI32(e.openPos);
+        w.putU64(e.preStamp);
+        putDramAddress(w, e.addr);
+    }
+    w.putCount(activeBanks_.size());
+    for (const int b : activeBanks_)
+        w.putI32(b);
+    w.putCount(openBanks_.size());
+    for (const int b : openBanks_)
+        w.putI32(b);
+    w.putCount(unitForcedBank_.size());
+    for (const int b : unitForcedBank_)
+        w.putI32(b);
+    w.putU64(admitSeq_);
+    w.putU64(stepStamp_);
+    w.putI32(readCount_);
+    w.putI32(writeCount_);
+
+    readOutstanding_.saveState(w);
+    writeOutstanding_.saveState(w);
+    w.putBool(drainingWrites_);
+    w.putCount(refreshUnits_.size());
+    for (const RefreshUnit& u : refreshUnits_) {
+        w.putI64(u.rot.interval);
+        w.putI64(u.rot.due);
+        w.putI32(u.rot.cursor);
+    }
+
+    w.putCount(retryQ_.size());
+    for (const PendingRetry& p : retryQ_) {
+        put_op(p.op);
+        w.putI64(p.readyAt);
+    }
+    w.putI64(nextRetryAt_);
+
+    w.putU64(casIssued_);
+    readQOcc_.saveState(w);
+
+    w.putCount(seqNode_.size());
+    for (const int n : seqNode_)
+        w.putI32(n);
+    w.putU64(seqNodeMask_);
+    w.putU64(ffEpochs_);
+    w.putU64(ffSteps_);
+}
+
+void
+ConventionalMc::restoreCheckpoint(CheckpointReader& r)
+{
+    const auto get_op = [&r]() {
+        Op op;
+        op.addr = getDramAddress(r);
+        op.reqId = r.getU64();
+        op.kind = static_cast<ReqKind>(r.getU8());
+        op.arrival = r.getI64();
+        op.singleOp = r.getBool();
+        op.attempt = r.getI32();
+        return op;
+    };
+    const auto get_bank_list = [&r](BankList& l) {
+        l.head = r.getI32();
+        l.tail = r.getI32();
+        l.count = r.getI32();
+        l.hitCount = r.getI32();
+        l.hitRep = r.getI32();
+        l.minArrivalLb = r.getI64();
+    };
+
+    loadBaseState(r);
+    dev_.loadState(r);
+
+    readQ_.resize(r.getCount());
+    for (Op& op : readQ_)
+        op = get_op();
+    writeQ_.resize(r.getCount());
+    for (Op& op : writeQ_)
+        op = get_op();
+
+    pool_.resize(r.getCount());
+    for (OpNode& n : pool_) {
+        n.op = get_op();
+        n.seq = r.getU64();
+        n.bank = r.getI32();
+        n.prev = r.getI32();
+        n.next = r.getI32();
+    }
+    freeNodes_.resize(r.getCount());
+    for (int& n : freeNodes_)
+        n = r.getI32();
+    if (r.getCount() != bankIx_.size())
+        fatal("hbm4 checkpoint bank-index size mismatch");
+    for (BankEntry& e : bankIx_) {
+        get_bank_list(e.read);
+        get_bank_list(e.write);
+        e.activePos = r.getI32();
+        e.openPos = r.getI32();
+        e.preStamp = r.getU64();
+        e.addr = getDramAddress(r);
+    }
+    activeBanks_.resize(r.getCount());
+    for (int& b : activeBanks_)
+        b = r.getI32();
+    openBanks_.resize(r.getCount());
+    for (int& b : openBanks_)
+        b = r.getI32();
+    if (r.getCount() != unitForcedBank_.size())
+        fatal("hbm4 checkpoint refresh-unit count mismatch");
+    for (int& b : unitForcedBank_)
+        b = r.getI32();
+    admitSeq_ = r.getU64();
+    stepStamp_ = r.getU64();
+    readCount_ = r.getI32();
+    writeCount_ = r.getI32();
+
+    readOutstanding_.loadState(r);
+    writeOutstanding_.loadState(r);
+    drainingWrites_ = r.getBool();
+    if (r.getCount() != refreshUnits_.size())
+        fatal("hbm4 checkpoint refresh-unit count mismatch");
+    for (RefreshUnit& u : refreshUnits_) {
+        u.rot.interval = r.getI64();
+        u.rot.due = r.getI64();
+        u.rot.cursor = r.getI32();
+    }
+
+    retryQ_.resize(r.getCount());
+    for (PendingRetry& p : retryQ_) {
+        p.op = get_op();
+        p.readyAt = r.getI64();
+    }
+    nextRetryAt_ = r.getI64();
+
+    casIssued_ = r.getU64();
+    readQOcc_.loadState(r);
+
+    seqNode_.resize(r.getCount());
+    for (int& n : seqNode_)
+        n = r.getI32();
+    seqNodeMask_ = r.getU64();
+    ffEpochs_ = r.getU64();
+    ffSteps_ = r.getU64();
+
+    // Memo learning state is not serialized: reset and re-learn. Every
+    // decision the detector could replay is recomputed identically by the
+    // full search, so only step-count diagnostics can differ.
+    scrubEvents_.clear();
+    memo_.reset();
+    memoFpRef_.clear();
+    memoFpLive_.clear();
+    memoRowScratch_.clear();
+    memoFpBase_ = kTickInvalid;
 }
 
 } // namespace rome

@@ -82,6 +82,8 @@ struct McConfig
      * Use the seed's rescan-everything scheduler instead of the
      * incremental per-bank index. Decisions are bit-identical; this exists
      * as the parity oracle and as the baseline of bench_sched_hotpath.
+     * Test-only: builds configured with -DROME_ORACLES=OFF compile the
+     * oracle out and reject this flag at construction.
      */
     bool legacyScheduler = false;
     /**
@@ -135,6 +137,18 @@ class ConventionalMc : public ChannelControllerBase
     McComplexity complexity() const override;
 
     ControllerStats stats() const override;
+
+    /**
+     * Checkpoint the full mutable controller + device state (queues,
+     * per-bank index, refresh rotations, retry/fault state, statistics).
+     * Epoch-memo learning state is deliberately not serialized: restore
+     * resets the detector and it re-learns, which leaves every
+     * ControllerStats field bit-identical (only the schedSteps /
+     * memoFfSteps diagnostics may differ). The restore target must be
+     * constructed with the same DramConfig / mapping / McConfig.
+     */
+    void saveCheckpoint(CheckpointWriter& w) const override;
+    void restoreCheckpoint(CheckpointReader& r) override;
 
   private:
     /** One cache-line-sized column operation. */

@@ -45,6 +45,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/checkpoint.h"
 #include "common/types.h"
 #include "dram/device.h"
 #include "rome/rome_command.h"
@@ -131,6 +132,27 @@ class CommandGenerator
         rowCmds_ += row_cmds * epochs;
         templateHits_ += hits * epochs;
         templateFallbacks_ += fallbacks * epochs;
+    }
+
+    /**
+     * Serialize / restore the accounting counters. The lowering plans and
+     * templates are config-derived and rebuilt by construction; only the
+     * accepted/hit/fallback tallies are mutable run state.
+     */
+    void
+    saveCounters(CheckpointWriter& w) const
+    {
+        w.putU64(rowCmds_);
+        w.putU64(templateHits_);
+        w.putU64(templateFallbacks_);
+    }
+
+    void
+    loadCounters(CheckpointReader& r)
+    {
+        rowCmds_ = r.getU64();
+        templateHits_ = r.getU64();
+        templateFallbacks_ = r.getU64();
     }
 
   private:

@@ -10,6 +10,10 @@ namespace rome
 namespace
 {
 
+/** Lock-step drain window: long enough to amortize the loop, short
+ *  enough that staged sibling requests are consumed promptly. */
+constexpr Tick kDrainWindow = ticksFromNs(static_cast<std::int64_t>(1000));
+
 RomeMcConfig
 coarsePartitionConfig(const HybridConfig& cfg)
 {
@@ -63,6 +67,7 @@ HybridMc::feedNext(int which, Request& out)
         return false;
     Request r;
     while (source_->next(r)) {
+        ++pulledFromSource_;
         if (partitionOf(r) == which) {
             out = r;
             return true;
@@ -78,6 +83,7 @@ void
 HybridMc::bindSource(RequestSource* src)
 {
     source_ = src;
+    pulledFromSource_ = 0;
     if (src == nullptr) {
         rome_.bindSource(nullptr);
         fine_.bindSource(nullptr);
@@ -95,6 +101,14 @@ HybridMc::bindSource(RequestSource* src)
 void
 HybridMc::runUntil(Tick until)
 {
+    // Both partitions advance unconditionally — like any channel, an
+    // idle partition's refresh calendar keeps firing inside the window.
+    // That keeps the partition property exact: which window a partition
+    // happens to finish its work in never decides how much calendar it
+    // honors, so any slicing of [0, until] equals one runUntil(until).
+    // The RoMe partition goes first so the fine share it stages this
+    // window is visible to the fine partition's refill in the same
+    // window (a fixed, drive-independent order).
     rome_.runUntil(until);
     fine_.runUntil(until);
 }
@@ -102,18 +116,20 @@ HybridMc::runUntil(Tick until)
 Tick
 HybridMc::drain()
 {
-    // The drive pattern is exactly the eager path's — sequential partition
-    // drains — so results are bit-identical by construction: the RoMe
-    // partition streams its subsequence through its feed in O(window)
-    // host memory (staging the fine share it pulls past); the fine
-    // partition then drains its staged subsequence plus whatever remains
-    // in the stream. Interleaving the partitions in time slices instead
-    // would bound staging harder, but the controllers' refresh and
-    // age-priority decisions depend on where their clocks land, so a
-    // sliced drive would not reproduce the eager results bit-for-bit.
-    const Tick a = rome_.drain();
-    const Tick b = fine_.drain();
-    return std::max(a, b);
+    // Bounded lock-step: both partitions advance through shared time
+    // windows, so each window's staged sibling share is consumed almost
+    // immediately instead of accumulating while one partition drains to
+    // completion. Controller decisions anchor to event ticks — never to
+    // where a window lands — so this produces the same per-partition
+    // command streams as sequential full drains, with staging bounded by
+    // one window's pull span rather than the whole workload.
+    Tick t = now();
+    while (!idle()) {
+        t += kDrainWindow;
+        runUntil(t);
+    }
+    return std::max(rome_.device().lastDataEnd(),
+                    fine_.device().lastDataEnd());
 }
 
 bool
@@ -191,6 +207,112 @@ HybridMc::stats() const
     s.merge(fine_.stats());
     s.deriveBandwidths();
     return s;
+}
+
+// ---- checkpointing -------------------------------------------------------
+
+namespace
+{
+
+void
+putHybridRequest(CheckpointWriter& w, const Request& r)
+{
+    w.putU64(r.id);
+    w.putU8(static_cast<std::uint8_t>(r.kind));
+    w.putU64(r.addr);
+    w.putU64(r.size);
+    w.putI64(r.arrival);
+}
+
+Request
+getHybridRequest(CheckpointReader& r)
+{
+    Request req;
+    req.id = r.getU64();
+    req.kind = static_cast<ReqKind>(r.getU8());
+    req.addr = r.getU64();
+    req.size = r.getU64();
+    req.arrival = r.getI64();
+    return req;
+}
+
+} // namespace
+
+void
+HybridMc::saveCheckpoint(CheckpointWriter& w) const
+{
+    rome_.saveCheckpoint(w);
+    fine_.saveCheckpoint(w);
+    for (const auto& staged : staging_) {
+        w.putCount(staged.size());
+        for (const Request& r : staged)
+            putHybridRequest(w, r);
+    }
+    w.putU64(static_cast<std::uint64_t>(stagingPeak_));
+    w.putU64(pulledFromSource_);
+    w.putBool(source_ != nullptr);
+    // Each feed's one-request lookahead is live router state: a refill
+    // probing exhausted() peeks through the feed, which already pulled
+    // the request off the shared stream (counted in pulledFromSource_).
+    for (const PartitionFeed& f : feeds_) {
+        Request peek{};
+        const bool have = f.peekState(peek);
+        w.putBool(have);
+        putHybridRequest(w, peek);
+        w.putBool(f.endedState());
+    }
+}
+
+void
+HybridMc::restoreCheckpoint(CheckpointReader& r)
+{
+    rome_.restoreCheckpoint(r);
+    fine_.restoreCheckpoint(r);
+    for (auto& staged : staging_) {
+        staged.clear();
+        const std::size_t n = r.getCount();
+        for (std::size_t i = 0; i < n; ++i)
+            staged.push_back(getHybridRequest(r));
+    }
+    stagingPeak_ = static_cast<std::size_t>(r.getU64());
+    pulledFromSource_ = r.getU64();
+    const bool had_source = r.getBool();
+    for (PartitionFeed& f : feeds_) {
+        const bool have = r.getBool();
+        const Request peek = getHybridRequest(r);
+        f.restoreStreamState(peek, have, r.getBool());
+    }
+    source_ = nullptr;
+    if (had_source) {
+        // Reconnect the partitions to the (restored) feeds now; the
+        // shared stream itself arrives via resumeSource before running.
+        feeds_[0].attach(this, 0);
+        feeds_[1].attach(this, 1);
+        rome_.attachResumedFeed(&feeds_[0]);
+        fine_.attachResumedFeed(&feeds_[1]);
+    }
+    mergedCompletions_.clear();
+    romeMerged_ = 0;
+    fineMerged_ = 0;
+}
+
+void
+HybridMc::resumeSource(RequestSource* src)
+{
+    if (src == nullptr) {
+        source_ = nullptr;
+        return;
+    }
+    Request r;
+    for (std::uint64_t i = 0; i < pulledFromSource_; ++i) {
+        if (!src->next(r)) {
+            fatal("resumed source ended after %llu of %llu checkpointed "
+                  "pulls — not the stream the checkpoint was taken over",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(pulledFromSource_));
+        }
+    }
+    source_ = src;
 }
 
 double

@@ -65,18 +65,25 @@ class HybridMc : public IMemoryController
      * drained upfront. A feed that encounters requests routed to the
      * sibling stages them in the router (FIFO), so both partitions see
      * exactly the request sequence the eager fallback would have
-     * delivered and results stay bit-identical. The drive pattern is
-     * unchanged (sequential partition drains), so the pulling partition
-     * runs in O(window) host memory and staging peaks at the sibling's
-     * not-yet-consumed share of the pulled span — for the RoMe-heavy
-     * mixes the hybrid targets, a small fraction of the workload, where
-     * the eager fallback buffered all of it.
+     * delivered and results stay bit-identical. The drain drive is a
+     * bounded lock-step (both partitions advance through shared time
+     * windows), so each window's staged sibling share is consumed
+     * almost immediately: staging peaks at one window's pull span, not
+     * at a partition's whole share of the workload — truly O(window)
+     * memory, where the eager fallback buffered everything.
      */
     void bindSource(RequestSource* src) override;
 
+    /**
+     * Advance both partitions to @p until (RoMe first, a fixed order).
+     * Idle partitions keep honoring their refresh calendar like any
+     * channel, so any slicing of [0, until] is bit-identical to one
+     * runUntil(until) window.
+     */
     void runUntil(Tick until) override;
 
-    /** Drain both partitions; returns the later finish time. */
+    /** Drain both partitions in bounded lock-step windows; returns the
+     *  later finish time. */
     Tick drain() override;
 
     bool idle() const override;
@@ -139,6 +146,25 @@ class HybridMc : public IMemoryController
      */
     std::size_t stagingPeak() const { return stagingPeak_; }
 
+    /**
+     * Checkpoint both partitions plus the router state: the staging
+     * deques, the shared-source pull count, and each partition feed's
+     * lookahead buffer (a feed routinely holds a peeked request because
+     * refill probes exhausted() through the shared stream). A streaming
+     * checkpoint must be resumed with resumeSource() before running.
+     */
+    void saveCheckpoint(CheckpointWriter& w) const override;
+    void restoreCheckpoint(CheckpointReader& r) override;
+
+    /**
+     * Re-attach a fresh instance of the originally bound source after
+     * restoreCheckpoint: skips the checkpointed number of shared-stream
+     * pulls (sources replay identically per the reset() contract), then
+     * reconnects both partitions to their feeds without re-priming —
+     * the restored host windows already hold every pulled request.
+     */
+    void resumeSource(RequestSource* src) override;
+
   private:
     /** One partition's demand-driven view of the shared bound source. */
     class PartitionFeed final : public RequestSource
@@ -188,6 +214,8 @@ class HybridMc : public IMemoryController
     /** Requests pulled past one feed, awaiting the other partition. */
     std::array<std::deque<Request>, 2> staging_;
     std::size_t stagingPeak_ = 0;
+    /** Successful pulls off the shared source (checkpoint resume skip). */
+    std::uint64_t pulledFromSource_ = 0;
     mutable std::vector<Completion> mergedCompletions_;
     /** How many entries of each partition are already merged. */
     mutable std::size_t romeMerged_ = 0;

@@ -14,6 +14,14 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
                                  map_.deviceTiming()),
       gen_(map_, dev_, CmdGenPlacement::LogicDie, !cfg.scalarLowering)
 {
+#if !ROME_ORACLES
+    // The template (vectorized) lowering path stays live either way —
+    // only the force-scalar flag and the legacy scheduler are oracles.
+    if (cfg_.legacyScheduler || cfg_.scalarLowering)
+        fatal("RomeMcConfig::%s is a test-only oracle compiled out of "
+              "this build — reconfigure with -DROME_ORACLES=ON",
+              cfg_.legacyScheduler ? "legacyScheduler" : "scalarLowering");
+#endif
     if (cfg_.timing) {
         timing_ = *cfg_.timing;
     } else if (design.bankMode == VbaDesign::adopted().bankMode &&
@@ -317,11 +325,11 @@ RomeMc::stepOnceIndexed(Tick until)
         const bool is_write = best->cmd.kind == RowCmdKind::WrRow;
         const Tick at = best_at;
         if (at > until) {
-            // The clamped step issues nothing and is retried verbatim by
-            // the next runUntil call, so detection survives the seam:
-            // this step's recorded admissions stay pending and the retry
-            // reports them as its own intake.
-            now_ = until;
+            // The bounded step issues nothing and is retried verbatim by
+            // the next runUntil call from the same event tick, so both
+            // decisions and detection survive the seam: this step's
+            // recorded admissions stay pending and the retry reports
+            // them as its own intake.
             return false;
         }
 
@@ -404,12 +412,17 @@ RomeMc::stepOnceIndexed(Tick until)
     next = std::min(next, opBusy_.firstFreeAfter(now_));
     next = std::min(next, refBusy_.firstFreeAfter(now_));
     if (next == kTickMax || next > until) {
-        now_ = until;
+        // now_ stays on its last event tick (slice invariance).
         return false;
     }
     now_ = next;
     return true;
 }
+
+// Legacy scheduler (the seed's rescan-everything loop; decision oracle).
+// Test-only: compiled out under -DROME_ORACLES=OFF — the constructor
+// rejects cfg_.legacyScheduler there, so the stub is unreachable.
+#if ROME_ORACLES
 
 bool
 RomeMc::stepOnceLegacy(Tick until)
@@ -499,7 +512,7 @@ RomeMc::stepOnceLegacy(Tick until)
         const bool is_write = best->cmd.kind == RowCmdKind::WrRow;
         const Tick at = best_at;
         if (at > until) {
-            now_ = until;
+            // Retried verbatim from the same event tick by the next call.
             return false;
         }
 
@@ -577,12 +590,22 @@ RomeMc::stepOnceLegacy(Tick until)
         }
     }
     if (next == kTickMax || next > until) {
-        now_ = until;
+        // now_ stays on its last event tick (slice invariance).
         return false;
     }
     now_ = next;
     return true;
 }
+
+#else // !ROME_ORACLES
+
+bool
+RomeMc::stepOnceLegacy(Tick)
+{
+    panic("legacy oracle compiled out (ROME_ORACLES=OFF)");
+}
+
+#endif // ROME_ORACLES
 
 // ---------------------------------------------------------------------------
 // Reliability (sim/fault.h)
@@ -983,7 +1006,8 @@ RomeMc::tryFastForward(Tick until)
 {
     const Tick t0 = memo_.epochBase();
     if (now_ != t0)
-        return 0; // resumed mid-boundary (e.g. a runUntil seam)
+        return 0; // not on the boundary tick (defensive; runUntil seams
+                  // leave now_ on the event tick, so replay resumes)
     const Tick period = memo_.period();
     // Whole epochs only, and never across the run bound or a refresh due
     // tick: every within-window step then behaves exactly as the oracle,
@@ -1076,6 +1100,175 @@ RomeMc::stats() const
     s.achievedBandwidth = achievedBandwidth();
     s.effectiveBandwidth = effectiveBandwidth();
     return s;
+}
+
+// ---- checkpointing -------------------------------------------------------
+
+void
+RomeMc::saveCheckpoint(CheckpointWriter& w) const
+{
+    const auto put_row_op = [&w](const RowOp& op) {
+        w.putU8(static_cast<std::uint8_t>(op.cmd.kind));
+        w.putI32(op.cmd.addr.sid);
+        w.putI32(op.cmd.addr.vba);
+        w.putI32(op.cmd.addr.row);
+        w.putU64(op.reqId);
+        w.putI64(op.arrival);
+        w.putU64(op.usefulBytes);
+        w.putBool(op.singleOp);
+        w.putI32(op.attempt);
+    };
+    const auto put_slot = [&w](const FsmSlot& s) {
+        w.putI32(s.vba.sid);
+        w.putI32(s.vba.vba);
+        w.putI32(s.vba.row);
+        w.putI64(s.busyUntil);
+        w.putU8(static_cast<std::uint8_t>(s.state));
+    };
+
+    saveBaseState(w);
+    dev_.saveState(w);
+    gen_.saveCounters(w);
+
+    w.putCount(queue_.size());
+    for (const RowOp& op : queue_)
+        put_row_op(op);
+    outstanding_.saveState(w);
+
+    w.putCount(opSlots_.size());
+    for (const FsmSlot& s : opSlots_)
+        put_slot(s);
+    w.putCount(refSlots_.size());
+    for (const FsmSlot& s : refSlots_)
+        put_slot(s);
+    opBusy_.saveState(w);
+    refBusy_.saveState(w);
+    w.putCount(vbaBusyUntil_.size());
+    for (const Tick t : vbaBusyUntil_)
+        w.putI64(t);
+    for (const VbaState s : vbaBusyState_)
+        w.putU8(static_cast<std::uint8_t>(s));
+
+    w.putI64(lastRowCmdAt_);
+    w.putBool(lastRowCmdWasWrite_);
+    w.putI32(lastRowCmdSid_);
+    w.putBool(lastRowCmdVba_.has_value());
+    if (lastRowCmdVba_) {
+        w.putI32(lastRowCmdVba_->sid);
+        w.putI32(lastRowCmdVba_->vba);
+        w.putI32(lastRowCmdVba_->row);
+    }
+
+    w.putI64(refresh_.interval);
+    w.putI64(refresh_.due);
+    w.putI32(refresh_.cursor);
+
+    w.putCount(retryQ_.size());
+    for (const PendingRetry& p : retryQ_) {
+        put_row_op(p.op);
+        w.putI64(p.readyAt);
+    }
+    w.putI64(nextRetryAt_);
+
+    w.putU64(overfetch_);
+    w.putI32(opHighWater_);
+    w.putI32(refHighWater_);
+    w.putU64(ffEpochs_);
+    w.putU64(ffSteps_);
+}
+
+void
+RomeMc::restoreCheckpoint(CheckpointReader& r)
+{
+    const auto get_row_op = [&r]() {
+        RowOp op{};
+        op.cmd.kind = static_cast<RowCmdKind>(r.getU8());
+        op.cmd.addr.sid = r.getI32();
+        op.cmd.addr.vba = r.getI32();
+        op.cmd.addr.row = r.getI32();
+        op.reqId = r.getU64();
+        op.arrival = r.getI64();
+        op.usefulBytes = r.getU64();
+        op.singleOp = r.getBool();
+        op.attempt = r.getI32();
+        return op;
+    };
+    const auto get_slot = [&r](FsmSlot& s) {
+        s.vba.sid = r.getI32();
+        s.vba.vba = r.getI32();
+        s.vba.row = r.getI32();
+        s.busyUntil = r.getI64();
+        s.state = static_cast<VbaState>(r.getU8());
+    };
+
+    loadBaseState(r);
+    dev_.loadState(r);
+    gen_.loadCounters(r);
+
+    queue_.resize(r.getCount());
+    for (RowOp& op : queue_)
+        op = get_row_op();
+    outstanding_.loadState(r);
+
+    if (r.getCount() != opSlots_.size())
+        fatal("rome checkpoint operate-FSM count mismatch");
+    for (FsmSlot& s : opSlots_)
+        get_slot(s);
+    if (r.getCount() != refSlots_.size())
+        fatal("rome checkpoint refresh-FSM count mismatch");
+    for (FsmSlot& s : refSlots_)
+        get_slot(s);
+    opBusy_.loadState(r);
+    refBusy_.loadState(r);
+    if (r.getCount() != vbaBusyUntil_.size())
+        fatal("rome checkpoint VBA count mismatch");
+    for (Tick& t : vbaBusyUntil_)
+        t = r.getI64();
+    for (VbaState& s : vbaBusyState_)
+        s = static_cast<VbaState>(r.getU8());
+
+    lastRowCmdAt_ = r.getI64();
+    lastRowCmdWasWrite_ = r.getBool();
+    lastRowCmdSid_ = r.getI32();
+    if (r.getBool()) {
+        VbaAddress a;
+        a.sid = r.getI32();
+        a.vba = r.getI32();
+        a.row = r.getI32();
+        lastRowCmdVba_ = a;
+    } else {
+        lastRowCmdVba_.reset();
+    }
+
+    refresh_.interval = r.getI64();
+    refresh_.due = r.getI64();
+    refresh_.cursor = r.getI32();
+
+    retryQ_.resize(r.getCount());
+    for (PendingRetry& p : retryQ_) {
+        p.op = get_row_op();
+        p.readyAt = r.getI64();
+    }
+    nextRetryAt_ = r.getI64();
+
+    overfetch_ = r.getU64();
+    opHighWater_ = r.getI32();
+    refHighWater_ = r.getI32();
+    ffEpochs_ = r.getU64();
+    ffSteps_ = r.getU64();
+
+    // Memo learning state is not serialized: reset and re-learn. The
+    // delta fast-forward only ever replays epochs confirmed after the
+    // restore point, so all accounted state stays bit-identical.
+    scrubEvents_.clear();
+    memo_.reset();
+    memoPopTag_.clear();
+    memoNextTag_.clear();
+    memoSim_.clear();
+    memoBoundary_.clear();
+    memoAdmitOps_.clear();
+    memoScratchOps_.clear();
+    memoBoundaryCount_ = 0;
 }
 
 } // namespace rome

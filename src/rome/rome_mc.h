@@ -82,12 +82,17 @@ struct RomeMcConfig
      * Use the seed's scan-every-slot scheduler instead of the
      * deadline-heap + per-VBA busy index. Decisions are bit-identical;
      * this exists as the parity oracle and the bench baseline.
+     * Test-only: builds configured with -DROME_ORACLES=OFF compile the
+     * oracle out and reject this flag at construction.
      */
     bool legacyScheduler = false;
     /**
      * Lower every row op through the scalar per-command path instead of
      * the precomputed-template fast path. Results are bit-identical;
-     * this exists as the parity oracle and the bench baseline.
+     * this exists as the parity oracle and the bench baseline. The scalar
+     * code itself stays live (template misses fall back to it); only this
+     * force flag is test-only — -DROME_ORACLES=OFF builds reject it at
+     * construction.
      */
     bool scalarLowering = false;
     /**
@@ -156,6 +161,17 @@ class RomeMc : public ChannelControllerBase
     McComplexity complexity() const override;
 
     ControllerStats stats() const override;
+
+    /**
+     * Checkpoint the full mutable controller + device + generator state.
+     * Epoch-memo learning state is not serialized: restore resets the
+     * detector and it re-learns (only the schedSteps / memoFfSteps
+     * diagnostics can differ; all accounted stats are bit-identical).
+     * The restore target must be constructed with the same DramConfig /
+     * VbaDesign / RomeMcConfig / map order.
+     */
+    void saveCheckpoint(CheckpointWriter& w) const override;
+    void restoreCheckpoint(CheckpointReader& r) override;
 
   private:
     /** One queued row operation. */

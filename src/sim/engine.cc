@@ -107,6 +107,63 @@ IMemoryController::bindSource(RequestSource* src)
         enqueue(r);
 }
 
+void
+IMemoryController::saveCheckpoint(CheckpointWriter& w) const
+{
+    (void)w;
+    fatal("controller \"%s\" does not support checkpointing",
+          name().c_str());
+}
+
+void
+IMemoryController::restoreCheckpoint(CheckpointReader& r)
+{
+    (void)r;
+    fatal("controller \"%s\" does not support checkpointing",
+          name().c_str());
+}
+
+void
+IMemoryController::resumeSource(RequestSource* src)
+{
+    (void)src;
+    fatal("controller \"%s\" does not support checkpointing",
+          name().c_str());
+}
+
+std::vector<std::uint8_t>
+saveControllerCheckpoint(const IMemoryController& mc)
+{
+    CheckpointWriter w;
+    w.putU32(kCheckpointMagic);
+    w.putU32(kCheckpointVersion);
+    w.putStr(mc.name());
+    mc.saveCheckpoint(w);
+    return w.take();
+}
+
+void
+restoreControllerCheckpoint(IMemoryController& mc,
+                            const std::vector<std::uint8_t>& blob)
+{
+    CheckpointReader r(blob);
+    const std::uint32_t magic = r.getU32();
+    if (magic != kCheckpointMagic)
+        fatal("not a checkpoint blob (magic 0x%08x)", magic);
+    const std::uint32_t version = r.getU32();
+    if (version != kCheckpointVersion) {
+        fatal("checkpoint version %u, this build reads %u", version,
+              kCheckpointVersion);
+    }
+    const std::string name = r.getStr();
+    if (name != mc.name()) {
+        fatal("checkpoint of controller \"%s\" cannot restore into \"%s\"",
+              name.c_str(), mc.name().c_str());
+    }
+    mc.restoreCheckpoint(r);
+    r.finish();
+}
+
 // ---------------------------------------------------------------------------
 // ChannelControllerBase
 // ---------------------------------------------------------------------------
@@ -166,9 +223,38 @@ void
 ChannelControllerBase::refillFromSource()
 {
     Request r;
-    while (host_.size() < sourceWindow_ && source_->next(r))
+    while (host_.size() < sourceWindow_ && source_->next(r)) {
+        ++sourcePulled_;
         enqueue(r);
+    }
     sourceDone_ = source_->exhausted();
+}
+
+void
+ChannelControllerBase::resumeSource(RequestSource* src)
+{
+    if (src == nullptr) {
+        if (!sourceDone_)
+            fatal("cannot resume without a source: the checkpointed run "
+                  "still had stream requests pending");
+        source_ = nullptr;
+        return;
+    }
+    // Fast-forward the fresh stream past the consumed prefix. Sources
+    // regenerate deterministically (the reset() replay contract), so the
+    // skipped requests are exactly the ones the restored host window /
+    // queues already account for.
+    Request r;
+    for (std::uint64_t i = 0; i < sourcePulled_; ++i) {
+        if (!src->next(r)) {
+            fatal("resumed source ended after %llu of %llu checkpointed "
+                  "pulls — not the stream the checkpoint was taken over",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(sourcePulled_));
+        }
+    }
+    source_ = src;
+    sourceDone_ = src->exhausted();
 }
 
 void
@@ -226,7 +312,13 @@ ChannelControllerBase::noteSingleOpDone(std::uint64_t req_id, Tick arrival,
 void
 ChannelControllerBase::runUntil(Tick until)
 {
-    while (now_ < until) {
+    // Closed-interval window: exhaust every event at ticks <= until,
+    // including cascades landing exactly on the bound (e.g. a retry
+    // waking at `until` whose re-read then issues at the same tick).
+    // stepOnce's clamps keep now_ <= until, so the only exit is "nothing
+    // left in this window" — which makes any partition of time into
+    // windows process the exact same event sequence as one big window.
+    while (now_ <= until) {
         ++steps_;
         if (!stepOnce(until))
             break;
@@ -281,6 +373,129 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
     s.rowCmds = c.rowCmds.value();
     s.colCmds = c.colCmds.value();
     s.finishedAt = device().lastDataEnd();
+}
+
+namespace
+{
+
+void
+putRequest(CheckpointWriter& w, const Request& r)
+{
+    w.putU64(r.id);
+    w.putU8(static_cast<std::uint8_t>(r.kind));
+    w.putU64(r.addr);
+    w.putU64(r.size);
+    w.putI64(r.arrival);
+}
+
+Request
+getRequest(CheckpointReader& r)
+{
+    Request q;
+    q.id = r.getU64();
+    q.kind = static_cast<ReqKind>(r.getU8());
+    q.addr = r.getU64();
+    q.size = r.getU64();
+    q.arrival = r.getI64();
+    return q;
+}
+
+} // namespace
+
+void
+ChannelControllerBase::saveBaseState(CheckpointWriter& w) const
+{
+    w.putI64(now_);
+    faults_.saveState(w);
+    w.putCount(host_.size());
+    for (const Request& r : host_)
+        putRequest(w, r);
+    w.putU64(frontChunk_);
+    // unordered_map: serialize in sorted key order so two checkpoints of
+    // the same state are byte-identical.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(inflight_.size());
+    for (const auto& [id, st] : inflight_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.putCount(ids.size());
+    for (const std::uint64_t id : ids) {
+        const ReqState& st = inflight_.at(id);
+        w.putU64(id);
+        w.putI64(st.arrival);
+        w.putI32(st.opsRemaining);
+        w.putBool(st.poisoned);
+    }
+    w.putCount(completions_.size());
+    for (const Completion& c : completions_) {
+        w.putU64(c.id);
+        w.putI64(c.finished);
+        w.putBool(c.poisoned);
+    }
+    latencyNs_.saveState(w);
+    latencyHistNs_.saveState(w);
+    w.putU64(bytesRead_);
+    w.putU64(bytesWritten_);
+    w.putU64(steps_);
+    w.putU64(totalRequests_);
+    w.putBool(sourceDone_);
+    w.putU64(sourcePulled_);
+    w.putU64(sourceWindow_);
+    w.putU64(hostPeak_);
+    w.putU64(completedCount_);
+    w.putU64(poisonedCount_);
+    w.putU64(singleOpsPending_);
+    w.putBool(retainCompletions_);
+}
+
+void
+ChannelControllerBase::loadBaseState(CheckpointReader& r)
+{
+    now_ = r.getI64();
+    faults_.loadState(r);
+    host_.clear();
+    const std::size_t nhost = r.getCount();
+    for (std::size_t i = 0; i < nhost; ++i)
+        host_.push_back(getRequest(r));
+    frontChunk_ = r.getU64();
+    inflight_.clear();
+    const std::size_t ninflight = r.getCount();
+    for (std::size_t i = 0; i < ninflight; ++i) {
+        const std::uint64_t id = r.getU64();
+        ReqState st{};
+        st.arrival = r.getI64();
+        st.opsRemaining = r.getI32();
+        st.poisoned = r.getBool();
+        inflight_.emplace(id, st);
+    }
+    completions_.clear();
+    const std::size_t ncomp = r.getCount();
+    completions_.reserve(ncomp);
+    for (std::size_t i = 0; i < ncomp; ++i) {
+        Completion c;
+        c.id = r.getU64();
+        c.finished = r.getI64();
+        c.poisoned = r.getBool();
+        completions_.push_back(c);
+    }
+    latencyNs_.loadState(r);
+    latencyHistNs_.loadState(r);
+    bytesRead_ = r.getU64();
+    bytesWritten_ = r.getU64();
+    steps_ = r.getU64();
+    totalRequests_ = r.getU64();
+    sourceDone_ = r.getBool();
+    sourcePulled_ = r.getU64();
+    sourceWindow_ = static_cast<std::size_t>(r.getU64());
+    hostPeak_ = static_cast<std::size_t>(r.getU64());
+    completedCount_ = r.getU64();
+    poisonedCount_ = r.getU64();
+    singleOpsPending_ = r.getU64();
+    retainCompletions_ = r.getBool();
+    // The source pointer is transient: the caller re-attaches a fresh
+    // stream with resumeSource (or leaves it detached when none was
+    // bound — sourceDone_ then restored as true).
+    source_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +571,16 @@ ChannelSimEngine::bindSource(int idx, std::unique_ptr<RequestSource> src)
     if (sources_.size() < channels_.size())
         sources_.resize(channels_.size());
     mc.bindSource(src.get());
+    sources_[static_cast<std::size_t>(idx)] = std::move(src);
+}
+
+void
+ChannelSimEngine::resumeSource(int idx, std::unique_ptr<RequestSource> src)
+{
+    auto& mc = *channels_.at(static_cast<std::size_t>(idx));
+    if (sources_.size() < channels_.size())
+        sources_.resize(channels_.size());
+    mc.resumeSource(src.get());
     sources_[static_cast<std::size_t>(idx)] = std::move(src);
 }
 

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/device.h"
@@ -184,7 +185,12 @@ class IMemoryController
      */
     virtual void bindSource(RequestSource* src);
 
-    /** Advance simulation until @p until or until fully idle. */
+    /**
+     * Advance simulation until @p until or until fully idle. Every event
+     * at or before @p until is processed; now() ends on the last event
+     * tick, which may trail @p until (decisions land only on event ticks,
+     * making any slicing of the drive bit-identical to an unsliced run).
+     */
     virtual void runUntil(Tick until) = 0;
 
     /** Run until every queued request completed; returns last data tick. */
@@ -218,7 +224,48 @@ class IMemoryController
 
     /** Flat snapshot of everything the harnesses consume. */
     virtual ControllerStats stats() const = 0;
+
+    // ---- checkpoint / restore (common/checkpoint.h) ---------------------
+
+    /**
+     * Serialize every piece of mutable state a bit-identical continuation
+     * needs (controller, device, source cursor). Use the
+     * saveControllerCheckpoint free function for the enveloped blob. The
+     * default fatals: a controller without an override cannot checkpoint.
+     */
+    virtual void saveCheckpoint(CheckpointWriter& w) const;
+
+    /**
+     * Inverse of saveCheckpoint into a freshly constructed controller of
+     * the *same configuration* — config-derived state is reproduced by
+     * construction, only mutable state is read back. After restoring,
+     * attach the workload stream with resumeSource (when one was bound);
+     * continuing with runUntil is then bit-identical to the original run.
+     */
+    virtual void restoreCheckpoint(CheckpointReader& r);
+
+    /**
+     * Re-attach a *fresh instance* of the originally bound source after
+     * restoreCheckpoint: the controller fast-forwards it past everything
+     * it had consumed before the snapshot (sources regenerate
+     * deterministically), leaving the cursor exactly where the original
+     * binding stood. Unlike bindSource this never refills the host
+     * window — the restored window already holds those requests.
+     */
+    virtual void resumeSource(RequestSource* src);
 };
+
+/**
+ * Serialize @p mc into an enveloped blob: magic, format version and the
+ * controller's name() ahead of its state, so restoring into the wrong
+ * controller type (or a drifted format) fails loudly.
+ */
+std::vector<std::uint8_t> saveControllerCheckpoint(
+    const IMemoryController& mc);
+
+/** Validate @p blob's envelope against @p mc and restore its state. */
+void restoreControllerCheckpoint(IMemoryController& mc,
+                                 const std::vector<std::uint8_t>& blob);
 
 /** Factory producing a fresh controller (one per sweep job / channel). */
 using ControllerFactory = std::function<std::unique_ptr<IMemoryController>()>;
@@ -321,6 +368,23 @@ class OutstandingOps
             t += delta;
     }
 
+    /** The raw heap array round-trips verbatim (heap order included). */
+    void
+    saveState(CheckpointWriter& w) const
+    {
+        w.putCount(heap_.size());
+        for (const Tick t : heap_)
+            w.putI64(t);
+    }
+
+    void
+    loadState(CheckpointReader& r)
+    {
+        heap_.resize(r.getCount());
+        for (Tick& t : heap_)
+            t = r.getI64();
+    }
+
   private:
     std::vector<Tick> heap_; ///< min-heap on release tick
 };
@@ -391,6 +455,22 @@ class ChannelControllerBase : public IMemoryController
         retainCompletions_ = retain;
     }
 
+    /**
+     * Fast-forward the fresh @p src past the sourcePulled_ requests the
+     * checkpointed run had consumed, then attach it without refilling
+     * (the restored host window already holds the pulled-but-unadmitted
+     * requests). Null detaches (legal only when the source was drained).
+     */
+    void resumeSource(RequestSource* src) final;
+
+    /**
+     * Composite-router restore plumbing: attach @p src as-is, with no
+     * skipping and no refill. A router resumes the *shared* stream once
+     * and re-attaches its live per-partition feeds here — skipping would
+     * double-advance the shared cursor.
+     */
+    void attachResumedFeed(RequestSource* src) { source_ = src; }
+
   protected:
     /** Host-request progress tracking. */
     struct ReqState
@@ -403,8 +483,12 @@ class ChannelControllerBase : public IMemoryController
 
     /**
      * One scheduling step. Must either advance now_ (issuing a command or
-     * jumping to the next event) and return true, or clamp now_ to
-     * @p until and return false when nothing can happen before it.
+     * jumping to the next event) and return true, or return false —
+     * leaving now_ on its last event tick — when nothing can happen at or
+     * before @p until. now_ never lands between events, so every
+     * decision input (arrivals, ages, refresh debt, idle timeouts) is
+     * evaluated at the same ticks no matter how the drive slices time:
+     * any runUntil partition is bit-identical to an unsliced drain.
      */
     virtual bool stepOnce(Tick until) = 0;
 
@@ -462,6 +546,15 @@ class ChannelControllerBase : public IMemoryController
     /** True when no bound source remains (or none was ever bound). */
     bool sourceDrained() const { return sourceDone_; }
 
+    /**
+     * Serialize / restore every base-owned mutable field (clock, host
+     * window, in-flight map, completion log, latency stats, source
+     * cursor, fault state). Subclass saveCheckpoint overrides call these
+     * first, then append their scheduler and device state.
+     */
+    void saveBaseState(CheckpointWriter& w) const;
+    void loadBaseState(CheckpointReader& r);
+
     Tick now_ = 0;
     /**
      * Per-channel fault process (subclass ctors configure it with their
@@ -489,6 +582,9 @@ class ChannelControllerBase : public IMemoryController
     RequestSource* source_ = nullptr;
     /** Cached source_->exhausted(); lets idle() stay const and cheap. */
     bool sourceDone_ = true;
+    /** Requests ever pulled from bound sources — the checkpointed source
+     *  cursor resumeSource() fast-forwards a fresh stream to. */
+    std::uint64_t sourcePulled_ = 0;
     std::size_t sourceWindow_ = 8;
     std::size_t hostPeak_ = 0;
     std::uint64_t completedCount_ = 0;
@@ -556,6 +652,14 @@ class ChannelSimEngine
      * one system-wide stream per channel.
      */
     void bindSource(int idx, std::unique_ptr<RequestSource> src);
+
+    /**
+     * Checkpoint-resume counterpart of bindSource: hands a fresh instance
+     * of channel @p idx's original source to its restored controller via
+     * IMemoryController::resumeSource (fast-forward past the consumed
+     * prefix, no refill) and keeps it alive like bindSource would.
+     */
+    void resumeSource(int idx, std::unique_ptr<RequestSource> src);
 
     /** Drain every channel; returns the latest finish tick. */
     Tick drainAll();

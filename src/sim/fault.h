@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/types.h"
 
 namespace rome
@@ -186,6 +187,15 @@ class FaultInjector
     bool stuckRow(int bank, int row) const;
     /** True when (bank, row) is a retention-weak site (testing aid). */
     bool weakRow(int bank, int row) const;
+
+    /**
+     * Serialize / restore the mutable fault state (per-row access and
+     * strike counters, the spare map, the scrub cursor, outcome
+     * counters). Configuration-derived fields (thresholds, geometry) are
+     * reproduced by configure()-ing the restore target identically.
+     */
+    void saveState(CheckpointWriter& w) const;
+    void loadState(CheckpointReader& r);
 
   private:
     struct RowState

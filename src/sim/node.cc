@@ -402,12 +402,15 @@ NodeDriver::run(double offered_rps) const
 NodeRateSweep
 runNodeRateSweep(const NodeDriver& driver,
                  const std::vector<double>& offered_rps,
-                 double saturation_tolerance)
+                 double saturation_tolerance, int workers)
 {
     NodeRateSweep sweep;
-    sweep.points.reserve(offered_rps.size());
-    for (const double rps : offered_rps) {
-        const NodeResult res = driver.run(rps);
+    sweep.points.resize(offered_rps.size());
+    // Independent self-contained runs into per-index slots: the sharded
+    // walk merges to exactly the serial curve (see runRateSweep).
+    parallelFor(static_cast<int>(offered_rps.size()), workers, [&](int i) {
+        const NodeResult res =
+            driver.run(offered_rps[static_cast<std::size_t>(i)]);
         NodeRatePoint pt;
         pt.node = makeRatePoint(res.offeredRps, res.achievedRps,
                                 res.aggregate, saturation_tolerance);
@@ -419,9 +422,13 @@ runNodeRateSweep(const NodeDriver& driver,
         }
         pt.linkQueueDelayMeanNs = res.linkQueueDelayNs.meanNs();
         pt.linkQueueDelayP99Ns = res.linkQueueDelayNs.percentileNs(99.0);
-        if (pt.node.saturated && sweep.kneeIndex < 0)
-            sweep.kneeIndex = static_cast<int>(sweep.points.size());
-        sweep.points.push_back(pt);
+        sweep.points[static_cast<std::size_t>(i)] = std::move(pt);
+    });
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        if (sweep.points[i].node.saturated) {
+            sweep.kneeIndex = static_cast<int>(i);
+            break;
+        }
     }
     return sweep;
 }

@@ -374,10 +374,16 @@ struct NodeRateSweep
     }
 };
 
-/** runRateSweep lifted to the node driver (same saturation rule). */
+/**
+ * runRateSweep lifted to the node driver (same saturation rule). As with
+ * the cube-level sweep, @p workers > 1 shards the independent rate
+ * points across threads with a bit-identical merged curve; callers
+ * usually drop the driver's own threads to 1 when sharding.
+ */
 NodeRateSweep runNodeRateSweep(const NodeDriver& driver,
                                const std::vector<double>& offered_rps,
-                               double saturation_tolerance = 0.05);
+                               double saturation_tolerance = 0.05,
+                               int workers = 1);
 
 /**
  * Emit @p pt into the JSON object currently open on @p w: the shared

@@ -21,42 +21,40 @@ ServingDriver::ServingDriver(ServingConfig cfg) : cfg_(std::move(cfg))
         fatal("serving driver needs at least one channel");
 }
 
-ServingResult
-ServingDriver::run(double offered_rps) const
+namespace
+{
+
+/** Arrival mean gap for @p offered_rps, quantized to whole ticks. */
+Tick
+meanGapFor(double offered_rps)
 {
     if (offered_rps <= 0.0)
         fatal("offered rate must be positive (got %g rps)", offered_rps);
+    return std::max<Tick>(ticksFromNs(1e9 / offered_rps), 1);
+}
 
+} // namespace
+
+std::vector<std::unique_ptr<RequestSource>>
+ServingDriver::makeShards(Tick mean_gap) const
+{
     // The arrival process re-times the *system* stream before sharding,
     // so every channel sees its subset with globally assigned arrival
     // ticks — one cube-wide open-loop load, not N independent ones.
     ArrivalSpec spec;
     spec.model = cfg_.arrivalModel;
     spec.seed = cfg_.arrivalSeed;
-    spec.meanGap = std::max<Tick>(ticksFromNs(1e9 / offered_rps), 1);
-    // The gap quantizes to whole ticks; report the rate actually driven
-    // so the saturation test compares achieved throughput against what
-    // the arrival process really offered, not the pre-rounding request.
-    const double actual_rps = 1e9 / nsFromTicks(spec.meanGap);
+    spec.meanGap = mean_gap;
     const SourceFactory timed = [this, spec] {
         return std::make_unique<ArrivalProcess>(cfg_.makeSystemSource(),
                                                 spec);
     };
-    auto shards =
-        shardAcrossChannels(timed, cfg_.numChannels, cfg_.stripeBytes);
+    return shardAcrossChannels(timed, cfg_.numChannels, cfg_.stripeBytes);
+}
 
-    ChannelSimEngine engine(cfg_.threads);
-    for (int ch = 0; ch < cfg_.numChannels; ++ch) {
-        auto mc = cfg_.makeController();
-        if (!mc)
-            fatal("serving controller factory produced no controller");
-        if (!cfg_.retainCompletions)
-            mc->setRetainCompletions(false);
-        const int idx = engine.addChannel(std::move(mc));
-        engine.bindSource(idx,
-                          std::move(shards[static_cast<std::size_t>(ch)]));
-    }
-
+ServingResult
+ServingDriver::finishRun(ChannelSimEngine& engine, double actual_rps) const
+{
     ServingResult res;
     res.offeredRps = actual_rps;
     res.finishedAt = engine.drainAll();
@@ -72,6 +70,89 @@ ServingDriver::run(double offered_rps) const
             nsFromTicks(res.finishedAt) * 1e9;
     }
     return res;
+}
+
+ServingResult
+ServingDriver::run(double offered_rps) const
+{
+    const Tick gap = meanGapFor(offered_rps);
+    // The gap quantizes to whole ticks; report the rate actually driven
+    // so the saturation test compares achieved throughput against what
+    // the arrival process really offered, not the pre-rounding request.
+    const double actual_rps = 1e9 / nsFromTicks(gap);
+    auto shards = makeShards(gap);
+
+    ChannelSimEngine engine(cfg_.threads);
+    for (int ch = 0; ch < cfg_.numChannels; ++ch) {
+        auto mc = cfg_.makeController();
+        if (!mc)
+            fatal("serving controller factory produced no controller");
+        if (!cfg_.retainCompletions)
+            mc->setRetainCompletions(false);
+        const int idx = engine.addChannel(std::move(mc));
+        engine.bindSource(idx,
+                          std::move(shards[static_cast<std::size_t>(ch)]));
+    }
+    return finishRun(engine, actual_rps);
+}
+
+CubeCheckpoint
+ServingDriver::runToCheckpoint(double offered_rps, Tick at) const
+{
+    if (at <= 0)
+        fatal("checkpoint tick must be positive (got %lld)",
+              static_cast<long long>(at));
+    const Tick gap = meanGapFor(offered_rps);
+    const double actual_rps = 1e9 / nsFromTicks(gap);
+    auto shards = makeShards(gap);
+
+    ChannelSimEngine engine(cfg_.threads);
+    for (int ch = 0; ch < cfg_.numChannels; ++ch) {
+        auto mc = cfg_.makeController();
+        if (!mc)
+            fatal("serving controller factory produced no controller");
+        if (!cfg_.retainCompletions)
+            mc->setRetainCompletions(false);
+        const int idx = engine.addChannel(std::move(mc));
+        engine.bindSource(idx,
+                          std::move(shards[static_cast<std::size_t>(ch)]));
+    }
+    engine.runAllUntil(at);
+
+    CubeCheckpoint ck;
+    ck.offeredRps = actual_rps;
+    ck.meanGap = gap;
+    ck.takenAt = at;
+    ck.channels.reserve(static_cast<std::size_t>(cfg_.numChannels));
+    for (int ch = 0; ch < cfg_.numChannels; ++ch)
+        ck.channels.push_back(saveControllerCheckpoint(engine.channel(ch)));
+    return ck;
+}
+
+ServingResult
+ServingDriver::resume(const CubeCheckpoint& ck) const
+{
+    if (static_cast<int>(ck.channels.size()) != cfg_.numChannels) {
+        fatal("cube checkpoint has %zu channels, this driver drives %d",
+              ck.channels.size(), cfg_.numChannels);
+    }
+    // Shards regenerate the system stream independently, so each restored
+    // channel fast-forwards its own shard past the consumed prefix inside
+    // resumeSource — no cross-channel coordination needed.
+    auto shards = makeShards(ck.meanGap);
+
+    ChannelSimEngine engine(cfg_.threads);
+    for (int ch = 0; ch < cfg_.numChannels; ++ch) {
+        auto mc = cfg_.makeController();
+        if (!mc)
+            fatal("serving controller factory produced no controller");
+        const int idx = engine.addChannel(std::move(mc));
+        restoreControllerCheckpoint(engine.channel(idx),
+                                    ck.channels[static_cast<std::size_t>(ch)]);
+        engine.resumeSource(idx,
+                            std::move(shards[static_cast<std::size_t>(ch)]));
+    }
+    return finishRun(engine, ck.offeredRps);
 }
 
 RatePoint
@@ -110,18 +191,25 @@ makeRatePoint(double offered_rps, double achieved_rps,
 RateSweep
 runRateSweep(const ServingDriver& driver,
              const std::vector<double>& offered_rps,
-             double saturation_tolerance)
+             double saturation_tolerance, int workers)
 {
     RateSweep sweep;
-    sweep.points.reserve(offered_rps.size());
-    for (const double rps : offered_rps) {
-        const ServingResult res = driver.run(rps);
-        const RatePoint pt = makeRatePoint(res.offeredRps, res.achievedRps,
-                                           res.aggregate,
-                                           saturation_tolerance);
-        if (pt.saturated && sweep.kneeIndex < 0)
-            sweep.kneeIndex = static_cast<int>(sweep.points.size());
-        sweep.points.push_back(pt);
+    sweep.points.resize(offered_rps.size());
+    // Every point is a self-contained run into its own slot, so the
+    // sharded walk merges to exactly the serial result; the knee scan
+    // below runs in rate order either way.
+    parallelFor(static_cast<int>(offered_rps.size()), workers, [&](int i) {
+        const ServingResult res =
+            driver.run(offered_rps[static_cast<std::size_t>(i)]);
+        sweep.points[static_cast<std::size_t>(i)] =
+            makeRatePoint(res.offeredRps, res.achievedRps, res.aggregate,
+                          saturation_tolerance);
+    });
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        if (sweep.points[i].saturated) {
+            sweep.kneeIndex = static_cast<int>(i);
+            break;
+        }
     }
     return sweep;
 }

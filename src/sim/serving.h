@@ -97,6 +97,24 @@ struct ServingResult
 };
 
 /**
+ * A mid-flight snapshot of one offered-rate run: every channel's
+ * controller + device + source-cursor state as an enveloped blob
+ * (saveControllerCheckpoint), plus the arrival parameters needed to
+ * rebuild the offered load bit-identically on resume.
+ */
+struct CubeCheckpoint
+{
+    /** Tick-rounded offered rate the snapshot was driven at. */
+    double offeredRps = 0.0;
+    /** Arrival mean gap in ticks (rebuilds the exact arrival process). */
+    Tick meanGap = 0;
+    /** Simulation tick the snapshot was taken at. */
+    Tick takenAt = 0;
+    /** One enveloped checkpoint blob per channel, in channel order. */
+    std::vector<std::vector<std::uint8_t>> channels;
+};
+
+/**
  * Drives one cube configuration at arbitrary offered rates. The driver
  * is stateless between runs — every run() builds fresh controllers and
  * sources, so points of a sweep are independent and reproducible.
@@ -109,9 +127,33 @@ class ServingDriver
     /** Serve the full system stream at @p offered_rps requests/s. */
     ServingResult run(double offered_rps) const;
 
+    /**
+     * Drive a fresh cube at @p offered_rps up to tick @p at, then
+     * snapshot every channel. resume() continues the run to completion
+     * with results bit-identical to an uninterrupted run() — provided
+     * @p at lands while every channel still has work in flight (past a
+     * channel's natural finish, the timed window would add refresh
+     * catch-up a straight drain never performs).
+     */
+    CubeCheckpoint runToCheckpoint(double offered_rps, Tick at) const;
+
+    /**
+     * Rebuild the cube from @p ck — fresh controllers restored from the
+     * blobs, fresh source shards fast-forwarded past each channel's
+     * consumed prefix — and drain it to completion.
+     */
+    ServingResult resume(const CubeCheckpoint& ck) const;
+
     const ServingConfig& config() const { return cfg_; }
 
   private:
+    /** Fresh per-channel shards of the stream re-timed at @p mean_gap. */
+    std::vector<std::unique_ptr<RequestSource>>
+    makeShards(Tick mean_gap) const;
+    /** Drain @p engine and assemble per-channel + aggregate results. */
+    ServingResult finishRun(ChannelSimEngine& engine,
+                            double actual_rps) const;
+
     ServingConfig cfg_;
 };
 
@@ -170,10 +212,19 @@ struct RateSweep
  * offered * (1 - saturation_tolerance): below the knee an open-loop
  * system keeps up and latency percentiles grow slowly; past it the
  * backlog grows without bound and the achieved rate pins at capacity.
+ *
+ * @p workers > 1 shards the rate points across that many threads. Every
+ * point is an independent self-contained run (fresh controllers and
+ * sources), so the merged curve — points, knee, every histogram-derived
+ * percentile — is bit-identical to the serial walk regardless of worker
+ * count. Sharding composes with the driver's own per-run channel
+ * threading; callers sharding across points usually set
+ * ServingConfig::threads = 1 so the two levels don't oversubscribe.
  */
 RateSweep runRateSweep(const ServingDriver& driver,
                        const std::vector<double>& offered_rps,
-                       double saturation_tolerance = 0.05);
+                       double saturation_tolerance = 0.05,
+                       int workers = 1);
 
 /**
  * Assemble one latency–throughput point from an aggregate stats

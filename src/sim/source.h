@@ -94,6 +94,33 @@ class RequestSource
         rewind();
     }
 
+    // ---- checkpoint plumbing -------------------------------------------
+    // The lookahead buffer is observable run state: a consumer that called
+    // nextArrival()/exhausted() has already advanced the underlying stream
+    // by one request. Checkpointing a consumer therefore records this peek
+    // state and re-applies it onto a skip-forwarded fresh source.
+
+    /** Copy the buffered peek into @p out; false when none is held. */
+    bool
+    peekState(Request& out) const
+    {
+        if (havePeek_)
+            out = peek_;
+        return havePeek_;
+    }
+
+    /** True when the stream already reported its end. */
+    bool endedState() const { return ended_; }
+
+    /** Reinstate a checkpointed lookahead buffer on this source. */
+    void
+    restoreStreamState(const Request& peek, bool have_peek, bool ended)
+    {
+        peek_ = peek;
+        havePeek_ = have_peek;
+        ended_ = ended;
+    }
+
   protected:
     /** Emit the next request; false when the stream is over. */
     virtual bool produce(Request& out) = 0;

@@ -170,11 +170,17 @@ TEST(Engine, RunAllUntilAdvancesEveryChannel)
 {
     const DramConfig dram = hbm4Config();
     ChannelSimEngine engine(2);
-    for (int i = 0; i < 2; ++i)
+    for (int i = 0; i < 2; ++i) {
         engine.addChannel(makeChannelController(MemorySystem::Hbm4, dram));
+        engine.enqueue(i, mixedWorkload(7 + static_cast<std::uint64_t>(i)));
+    }
     engine.runAllUntil(50_us);
-    for (int i = 0; i < 2; ++i)
-        EXPECT_GE(engine.channel(i).now(), 50_us);
+    for (int i = 0; i < 2; ++i) {
+        // Decisions land only on event ticks: the clock advances through
+        // the window but never past it (and never between events).
+        EXPECT_GT(engine.channel(i).now(), 0);
+        EXPECT_LE(engine.channel(i).now(), 50_us);
+    }
 }
 
 /** An 8-channel design-space sweep must not depend on the thread count. */

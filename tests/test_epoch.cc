@@ -21,6 +21,16 @@
 #include "rome/rome_mc.h"
 #include "sim/workloads.h"
 
+// Parity tests drive the legacy scheduler / forced scalar lowering as
+// decision oracles; perf builds compile them out (-DROME_ORACLES=OFF)
+// and skip.
+#if ROME_ORACLES
+#define REQUIRE_ORACLES() ((void)0)
+#else
+#define REQUIRE_ORACLES() \
+    GTEST_SKIP() << "test-only oracles compiled out (ROME_ORACLES=OFF)"
+#endif
+
 // ---------------------------------------------------------------------------
 // Counting allocator (same recipe as bench_sched_hotpath): every
 // operator-new bumps g_allocs, so a steady window with zero delta proves
@@ -289,6 +299,7 @@ TEST(RomeEpochMemo, StaggeredArrivalsAreNotMemoized)
 
 TEST(RomeEpochMemo, LegacySchedulerIgnoresTheFlag)
 {
+    REQUIRE_ORACLES();
     RomeMcConfig cfg = romeCfg(true);
     cfg.legacyScheduler = true;
     RomeMc mc(hbm4Config(), VbaDesign::adopted(), cfg);

@@ -437,21 +437,19 @@ TEST(FaultDeterminism, ThreadCountInvariant)
 
 TEST(FaultDeterminism, RunUntilSlicingInvariant)
 {
-    // Refresh firing is known to depend on runUntil clamping (see
-    // ROADMAP), so the slice-invariance claim for the fault path is
-    // made with refresh disabled: retries and spares must land on the
-    // same ticks no matter where the drive slices time.
+    // Both stacks anchor every decision (refresh firing, age priority,
+    // write-drain flips, retry re-admission) to event ticks, so a sliced
+    // drive — refresh, scrub and retries all enabled — must reproduce the
+    // unsliced drain bit for bit, full stats and histograms included.
     const auto reqs = readWorkload(51, 1_MiB);
     FaultConfig faults;
     faults.enabled = true;
     faults.seed = 51;
     faults.transientLineRate = 2e-4;
     faults.stuckRowFraction = 1e-3;
-    faults.scrubEnabled = false;
 
     {
         McConfig cfg;
-        cfg.refreshEnabled = false;
         cfg.faults = faults;
         const ControllerStats whole = runConventional(reqs, cfg);
 
@@ -467,14 +465,7 @@ TEST(FaultDeterminism, RunUntilSlicingInvariant)
         EXPECT_TRUE(whole == sliced.stats());
     }
     {
-        // The RoMe scheduler itself is not yet slice-invariant even with
-        // faults off (issue floors clamp to a mid-gap now_; the ROADMAP
-        // "decisions only on event ticks" item). The fault process must
-        // not depend on that wall-clock jitter: per-row access order is
-        // stable, so fault sites, verdicts, and recovery counters — and
-        // every byte served — are identical no matter where time slices.
         RomeMcConfig cfg;
-        cfg.refreshEnabled = false;
         cfg.faults = faults;
         const ControllerStats whole = runRome(reqs, cfg);
 
@@ -486,14 +477,7 @@ TEST(FaultDeterminism, RunUntilSlicingInvariant)
              t += ticksFromNs(static_cast<std::int64_t>(777)))
             sliced.runUntil(t);
         sliced.drain();
-        const ControllerStats s = sliced.stats();
-        EXPECT_EQ(whole.ceCount, s.ceCount);
-        EXPECT_EQ(whole.dueCount, s.dueCount);
-        EXPECT_EQ(whole.retryCount, s.retryCount);
-        EXPECT_EQ(whole.sparedRows, s.sparedRows);
-        EXPECT_EQ(whole.completedRequests, s.completedRequests);
-        EXPECT_EQ(whole.bytesRead, s.bytesRead);
-        EXPECT_EQ(whole.bytesWritten, s.bytesWritten);
+        EXPECT_TRUE(whole == sliced.stats());
     }
 }
 
