@@ -35,20 +35,32 @@
  *       Stream N random 4 KiB requests through the RoMe MC without ever
  *       materializing them; prints the host-buffer high-water mark as
  *       bounded-memory evidence.
+ *
+ *   $ ./trace_replay timeline <in.trace> <out.json> [hbm4|rome]
+ *                            [channels]
+ *       Replay a trace across N channels with telemetry command tracing
+ *       and export a Perfetto/Chrome trace-event timeline (one process
+ *       per channel, one thread per bank plus the scheduler track) —
+ *       open out.json at https://ui.perfetto.dev. Command tracing
+ *       disables epoch memoization, so the timeline is byte-identical
+ *       across thread counts and run slicings.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "dram/hbm4_config.h"
+#include "mc/addrmap.h"
 #include "rome/hybrid.h"
 #include "rome/rome_mc.h"
 #include "sim/engine.h"
 #include "sim/memsim.h"
 #include "sim/source.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 
 using namespace rome;
@@ -65,7 +77,9 @@ usage()
                  "[decode|prefill|serve|deepseek|grok1|llama3] "
                  "[--bursty]\n"
                  "       trace_replay replay <in.trace> [hbm4|rome|hybrid]\n"
-                 "       trace_replay stream <requests>\n");
+                 "       trace_replay stream <requests>\n"
+                 "       trace_replay timeline <in.trace> <out.json> "
+                 "[hbm4|rome] [channels]\n");
     std::exit(2);
 }
 
@@ -234,6 +248,75 @@ doStream(int argc, char** argv)
                : 1;
 }
 
+int
+doTimeline(int argc, char** argv)
+{
+    if (argc < 4)
+        usage();
+    const std::string in = argv[2];
+    const std::string out = argv[3];
+    const char* sys = argc > 4 ? argv[4] : "rome";
+    const int channels = argc > 5 ? std::atoi(argv[5]) : 4;
+    if (channels < 1 ||
+        (std::strcmp(sys, "hbm4") != 0 && std::strcmp(sys, "rome") != 0))
+        usage();
+    const DramConfig dram = hbm4Config();
+
+    // The system trace shards across the channels exactly like a serving
+    // run; every channel records into its own sink, so the exported
+    // timeline has one Perfetto process per channel.
+    const SourceFactory system = [in] {
+        return std::make_unique<TraceSource>(in);
+    };
+    auto shards =
+        shardAcrossChannels(system, channels, /*stripe_bytes=*/0);
+
+    ChannelSimEngine engine(defaultSimThreads());
+    std::vector<std::unique_ptr<TelemetrySink>> sinks;
+    for (int ch = 0; ch < channels; ++ch) {
+        std::unique_ptr<ChannelControllerBase> mc;
+        if (!std::strcmp(sys, "hbm4")) {
+            McConfig cfg;
+            cfg.telemetry.counters = true;
+            mc = std::make_unique<ConventionalMc>(
+                dram, bestBaselineMapping(dram.org), cfg);
+        } else {
+            RomeMcConfig cfg;
+            cfg.telemetry.counters = true;
+            mc = std::make_unique<RomeMc>(dram, VbaDesign::adopted(), cfg);
+        }
+        sinks.push_back(std::make_unique<TelemetrySink>(ch));
+        mc->attachTelemetrySink(sinks.back().get(),
+                                /*trace_commands=*/true);
+        const int idx = engine.addChannel(std::move(mc));
+        engine.bindSource(idx,
+                          std::move(shards[static_cast<std::size_t>(ch)]));
+    }
+    const Tick finished = engine.drainAll();
+
+    ControllerStats aggregate;
+    for (int ch = 0; ch < channels; ++ch)
+        aggregate.merge(engine.channel(ch).stats());
+    aggregate.deriveBandwidths();
+    printStats(sys, aggregate);
+
+    std::vector<const TelemetrySink*> ptrs;
+    std::size_t events = 0;
+    for (const auto& s : sinks) {
+        events += s->events().size();
+        ptrs.push_back(s.get());
+    }
+    if (!writeChromeTrace(out, ptrs)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("timeline: %zu events over %d channel(s), %.1f us of sim "
+                "time -> %s (open at https://ui.perfetto.dev)\n",
+                events, channels, nsFromTicks(finished) / 1000.0,
+                out.c_str());
+    return aggregate.completedRequests > 0 && events > 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -247,5 +330,7 @@ main(int argc, char** argv)
         return doReplay(argc, argv);
     if (!std::strcmp(argv[1], "stream"))
         return doStream(argc, argv);
+    if (!std::strcmp(argv[1], "timeline"))
+        return doTimeline(argc, argv);
     usage();
 }

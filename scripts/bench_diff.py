@@ -45,10 +45,13 @@ LOWER_IS_BETTER = ("seconds", "p99ns", "p999ns")
 # real lower-is-better metric (retries inflate it honestly). Sweep
 # wall-clock columns (serialSweepSeconds / shardedSweepSeconds) are
 # machine-load-sensitive, so they display but never gate — checked before
-# the generic "seconds" suffix would make them lower-is-better.
+# the generic "seconds" suffix would make them lower-is-better. The
+# telemetry overhead percentage is gated by the bench binary itself
+# (hard <10% exit gate), so here it is informational.
 INFORMATIONAL = ("cecount", "duecount", "retrycount", "scrubcount",
                  "sparedrows", "poisonedrequests", "schedsteps",
-                 "memoffsteps", "fffraction", "sweepseconds")
+                 "memoffsteps", "fffraction", "sweepseconds",
+                 "telemetryoverheadpct")
 IDENTITY_FIELDS = ("label", "system", "workload", "queueDepth", "banks",
                    "design", "pagePolicy", "load", "cubes", "router")
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (the telemetry timeline).
+
+Usage:
+    trace_lint.py TRACE.json [--min-events N]
+
+Checks the structural contract the Perfetto/chrome://tracing loaders
+rely on and that sim/telemetry.cc promises to emit:
+
+  - the file is a JSON object with a "traceEvents" list
+  - every event is an object carrying name (string), ph, pid (int >= 1)
+  - ph is one of: X (complete span), i (instant), M (metadata)
+  - X events have a numeric ts and a numeric dur >= 0
+  - i events have a numeric ts and scope "s": "t" (thread)
+  - M events are process_name / thread_name records with an args.name
+  - every (pid, tid) that carries X/i events was named by a thread_name
+    metadata record, and every pid by a process_name record
+  - X span start timestamps are nondecreasing per (pid, tid) track
+    (the sink records commands in issue order per channel)
+
+Exit status: 0 valid, 1 violations found, 2 usage/parse error.
+--min-events (default 1) additionally requires that many non-metadata
+events — a smoke run that traced nothing is a broken smoke run.
+"""
+
+import json
+import sys
+
+
+def lint(data, min_events):
+    errors = []
+
+    def err(msg):
+        if len(errors) < 50:
+            errors.append(msg)
+
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"], 0
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing \"traceEvents\" array"], 0
+
+    named_pids = set()
+    named_tracks = set()
+    used_tracks = {}  # (pid, tid) -> last X-span ts
+    payload = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            err(f"{where}: not an object")
+            continue
+        name = e.get("name")
+        ph = e.get("ph")
+        pid = e.get("pid")
+        if not isinstance(name, str) or not name:
+            err(f"{where}: missing or empty name")
+        if not isinstance(pid, int) or pid < 1:
+            err(f"{where}: bad pid {pid!r}")
+        if ph == "M":
+            args = e.get("args")
+            argname = args.get("name") if isinstance(args, dict) else None
+            if name not in ("process_name", "thread_name"):
+                err(f"{where}: unexpected metadata record {name!r}")
+            elif not isinstance(argname, str) or not argname:
+                err(f"{where}: metadata without args.name")
+            elif name == "process_name":
+                named_pids.add(pid)
+            else:
+                named_tracks.add((pid, e.get("tid")))
+            continue
+        if ph not in ("X", "i"):
+            err(f"{where}: unexpected ph {ph!r}")
+            continue
+        payload += 1
+        tid = e.get("tid")
+        ts = e.get("ts")
+        if not isinstance(tid, int) or tid < 0:
+            err(f"{where}: bad tid {tid!r}")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"{where}: X span with bad dur {dur!r}")
+            last = used_tracks.get((pid, tid))
+            if last is not None and ts < last:
+                err(f"{where}: X span ts {ts} goes backwards on "
+                    f"pid {pid} tid {tid} (last {last})")
+            used_tracks[(pid, tid)] = ts
+        else:
+            if e.get("s") != "t":
+                err(f"{where}: instant without thread scope (s: \"t\")")
+            used_tracks.setdefault((pid, tid), None)
+
+    for pid, tid in sorted(used_tracks):
+        if pid not in named_pids:
+            err(f"pid {pid} carries events but has no process_name")
+        if (pid, tid) not in named_tracks:
+            err(f"pid {pid} tid {tid} carries events but has no "
+                f"thread_name")
+    if payload < min_events:
+        err(f"only {payload} non-metadata event(s), expected at least "
+            f"{min_events}")
+    return errors, payload
+
+
+def main(argv):
+    path = None
+    min_events = 1
+    rest = argv[1:]
+    while rest:
+        a = rest.pop(0)
+        if a == "--min-events" and rest:
+            a = "--min-events=" + rest.pop(0)
+        if a.startswith("--min-events="):
+            try:
+                min_events = int(a.split("=", 1)[1])
+            except ValueError:
+                print("bad --min-events value", file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(f"unknown option {a}", file=sys.stderr)
+            return 2
+        elif path is None:
+            path = a
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_lint: cannot load {path}: {e}", file=sys.stderr)
+        return 2
+
+    errors, payload = lint(data, min_events)
+    if errors:
+        for msg in errors:
+            print(f"trace_lint: {path}: {msg}")
+        print(f"trace_lint: {path}: INVALID ({len(errors)} finding(s))")
+        return 1
+    print(f"trace_lint: {path}: OK ({payload} event(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

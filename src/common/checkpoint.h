@@ -40,7 +40,9 @@ namespace rome
 {
 
 /** Checkpoint format version; bump on any field-order change. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: telemetry state (stall tables, breakdown histograms, time-series
+// ring, per-request/op issue+retry/link fields) joined the stream.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** Envelope magic ("RMCK" little-endian). */
 inline constexpr std::uint32_t kCheckpointMagic = 0x4b434d52u;

@@ -158,6 +158,9 @@ class LatencyHistogram
         return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     }
 
+    /** Exact sum of all samples (ns) — breakdown components must add up. */
+    double sumNs() const { return sum_; }
+
     /**
      * Nearest-rank p-th percentile (p in [0, 100]) estimated from bucket
      * boundaries; the result is clamped to [minNs, maxNs] and p >= 100

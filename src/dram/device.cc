@@ -327,7 +327,7 @@ ChannelDevice::commit(const Command& cmd, Tick when)
     }
 
     if (trace_)
-        trace_(when, cmd);
+        trace_(when, cmd, res);
     return res;
 }
 

@@ -323,11 +323,28 @@ class ChannelDevice
 
     const DeviceCounters& counters() const { return counters_; }
 
-    /** Install a trace callback invoked on every committed command. */
+    /**
+     * Install a trace callback invoked on every committed command with
+     * its IssueResult (busy window / data beats), so timeline exporters
+     * can render spans without re-deriving timing.
+     */
+    void
+    setTrace(std::function<void(Tick, const Command&, const IssueResult&)>
+                 cb)
+    {
+        trace_ = std::move(cb);
+    }
+
+    /** Command-only trace callback (result ignored). */
     void
     setTrace(std::function<void(Tick, const Command&)> cb)
     {
-        trace_ = std::move(cb);
+        if (!cb) {
+            trace_ = nullptr;
+            return;
+        }
+        trace_ = [cb = std::move(cb)](Tick when, const Command& c,
+                                      const IssueResult&) { cb(when, c); };
     }
 
     /** True when a trace callback is installed (epoch memoization must
@@ -590,7 +607,7 @@ class ChannelDevice
     std::vector<PcRecord> pcs_;
     Tick lastDataEnd_ = 0;
     DeviceCounters counters_;
-    std::function<void(Tick, const Command&)> trace_;
+    std::function<void(Tick, const Command&, const IssueResult&)> trace_;
 };
 
 } // namespace rome

@@ -115,6 +115,37 @@ ConventionalMc::ConventionalMc(const DramConfig& cfg, AddressMapping mapping,
         memoFpLive_.reserve(4096);
         memoRowScratch_.reserve(cap);
     }
+    initTelemetry(cfg_.telemetry, cfg.org.banksPerChannel());
+}
+
+void
+ConventionalMc::installCommandTrace()
+{
+    // Every committed command becomes one span on its bank's track: CAS
+    // spans cover the data burst, row/refresh commands the bank-busy
+    // window. Installing a device trace disables epoch memoization
+    // (memoActive checks tracingEnabled), so the recorded timeline is
+    // the literal per-command schedule regardless of slicing.
+    dev_.setTrace([this](Tick when, const Command& cmd,
+                         const ChannelDevice::IssueResult& res) {
+        if (sink_ == nullptr)
+            return;
+        const char* name = "CMD";
+        Tick end = res.bankReadyAt;
+        switch (cmd.kind) {
+          case CmdKind::Act: name = "ACT"; break;
+          case CmdKind::Pre: name = "PRE"; break;
+          case CmdKind::Rd: name = "RD"; end = res.dataUntil; break;
+          case CmdKind::Wr: name = "WR"; end = res.dataUntil; break;
+          case CmdKind::RefPb: name = "REFpb"; break;
+          case CmdKind::RefAb: name = "REFab"; break;
+          default: break;
+        }
+        const int track = cmd.kind == CmdKind::RefAb
+                              ? TelemetrySink::kChannelTrack
+                              : flatBankIndex(dramCfg_.org, cmd.addr);
+        sink_->span(name, track, when, end > when ? end - when : 0);
+    });
 }
 
 int
@@ -177,6 +208,7 @@ ConventionalMc::admitOps()
         const std::uint64_t line = first_line + frontChunk_;
         Op op{map_.decode(line * col), req.id, req.kind, req.arrival,
               total == 1};
+        op.linkDelay = req.linkDelay;
         if (faults_.enabled()) {
             // Spared rows are remapped at admission so every queued op
             // carries the physical row it will access.
@@ -222,10 +254,14 @@ ConventionalMc::completeOp(const Op& op, Tick data_end)
         bytesRead_ += dramCfg_.org.columnBytes;
     else
         bytesWritten_ += dramCfg_.org.columnBytes;
+    // completeOp runs at the CAS issue tick, so the breakdown's default
+    // issue_at (= now_) is exactly the command's issue time.
     if (op.singleOp)
-        noteSingleOpDone(op.reqId, op.arrival, data_end, poisoned);
+        noteSingleOpDone(op.reqId, op.arrival, data_end, poisoned,
+                         kTickInvalid, op.retryWait, op.linkDelay);
     else
-        noteOpDone(op.reqId, data_end, poisoned);
+        noteOpDone(op.reqId, data_end, poisoned, kTickInvalid,
+                   op.retryWait);
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +282,8 @@ ConventionalMc::deferForFault(const Op& op, Tick data_end, bool& poisoned)
         faults_.classifyRead(bank, op.addr.row, op.addr.col, 1);
     if (v != EccVerdict::CorrectedError) {
         poisoned = v == EccVerdict::UncorrectableError;
+        if (poisoned && sink_ != nullptr)
+            sink_->instant("due", bank, data_end);
         return false;
     }
     if (op.attempt < faults_.config().retryLimit) {
@@ -275,6 +313,13 @@ void
 ConventionalMc::queueRetry(Op op, Tick ready_at)
 {
     faults_.noteRetry();
+    // The op re-enters the queue no earlier than ready_at; everything
+    // between the (re)issue decision and that point is retry backoff,
+    // subtracted from the request's queueing component.
+    if (telemetryOn() && ready_at > now_)
+        op.retryWait += ready_at - now_;
+    if (sink_ != nullptr)
+        sink_->instant("retry", TelemetrySink::kChannelTrack, now_);
     retryQ_.push_back(PendingRetry{op, ready_at});
     nextRetryAt_ = std::min(nextRetryAt_, ready_at);
 }
@@ -319,6 +364,8 @@ ConventionalMc::runScrub()
 void
 ConventionalMc::applySpare(const SpareEvent& ev)
 {
+    if (sink_ != nullptr)
+        sink_->instant("spare", ev.bank, now_);
     const auto rewrite = [&](Op& op) {
         if (op.addr.row == ev.oldRow &&
             flatBankIndex(dramCfg_.org, op.addr) == ev.bank)
@@ -818,6 +865,48 @@ ConventionalMc::stepOnceIndexed(Tick until)
             // event tick so decisions never depend on where time sliced.
             return false;
         }
+        if (telemetryOn() && next > now_) {
+            // Attribute the idle jump to whichever wake term produced
+            // `next`, matched in idleWakeTick's own evaluation order.
+            StallCause cause = StallCause::NoRequest;
+            bool matched = false;
+            if (writeCount_ > 0 && !drainingWrites_ && readCount_ == 0) {
+                cause = StallCause::WriteDrain;
+                matched = true;
+            }
+            if (!matched && nextRetryAt_ != kTickMax &&
+                std::max(nextRetryAt_, now_ + 1) == next) {
+                cause = StallCause::RetryBackoff;
+                matched = true;
+            }
+            if (!matched && !host_.empty()) {
+                Tick admit_at = std::max(host_.front().arrival, now_ + 1);
+                const Tick first_free =
+                    std::min(readOutstanding_.firstFreeAfter(now_),
+                             writeOutstanding_.firstFreeAfter(now_));
+                if (first_free != kTickMax)
+                    admit_at = std::min(admit_at,
+                                        std::max(now_ + 1, first_free));
+                if (admit_at == next) {
+                    // Front request not yet arrived = truly idle; arrived
+                    // but unadmittable = the queues/CAM are the bottleneck.
+                    cause = host_.front().arrival > now_
+                                ? StallCause::NoRequest
+                                : StallCause::BankBusy;
+                    matched = true;
+                }
+            }
+            if (!matched) {
+                for (const auto& u : refreshUnits_) {
+                    if (pendingRefreshCount(u) == 0 && u.rot.due == next) {
+                        cause = StallCause::Refresh;
+                        break;
+                    }
+                }
+                // Adaptive-timeout expiry falls through as NoRequest.
+            }
+            chargeStall(cause, now_, next);
+        }
         now_ = next;
         return true;
     }
@@ -827,6 +916,26 @@ ConventionalMc::stepOnceIndexed(Tick until)
         return false;
     }
 
+    if (telemetryOn() && best.earliest > now_) {
+        // The winning candidate waited [now_, earliest): when the cheap
+        // structural floor (tRRD/tFAW for ACT, CAS-chain/turnaround for
+        // RD/WR) already equals the exact probe, that constraint binds;
+        // otherwise the bank FSM itself was the holdup.
+        StallCause cause = StallCause::BankBusy;
+        if (best.isRefresh) {
+            cause = StallCause::Refresh;
+        } else if (best.cmd.kind == CmdKind::Rd ||
+                   best.cmd.kind == CmdKind::Wr) {
+            if (best.floor == best.earliest)
+                cause = StallCause::CasChain;
+        } else if (best.cmd.kind == CmdKind::Act &&
+                   best.floor == best.earliest) {
+            cause = StallCause::ActWindow;
+        }
+        lastStallCause_ = cause;
+        chargeStall(cause, now_, best.earliest,
+                    flatBankIndex(dramCfg_.org, best.cmd.addr));
+    }
     now_ = best.earliest;
     const auto res = dev_.issue(best.cmd, now_);
     readQOcc_.sample(static_cast<double>(readCount_));
@@ -901,6 +1010,9 @@ ConventionalMc::memoRecordIssue(const Candidate& best, Tick data_until,
     s.admitCount = memo_.pendingAdmits();
     s.kind = static_cast<std::uint16_t>(best.cmd.kind);
     s.isWrite = best.isWrite;
+    // Diagnostic rider: replay re-charges the same cause for the same
+    // gap, so memoized and live stall accounting agree exactly.
+    s.stallCause = static_cast<std::uint8_t>(lastStallCause_);
 
     const auto ev = memo_.recordStep(s);
     if (ev == EpochDetector::Event::CaptureFirst) {
@@ -1105,6 +1217,10 @@ ConventionalMc::memoReplayStep(Tick until, bool& progressed)
     }
 
     ++stepStamp_;
+    if (telemetryOn()) {
+        chargeStall(static_cast<StallCause>(c.stallCause), now_, expect,
+                    static_cast<int>(c.target));
+    }
     now_ = expect;
     const auto res = dev_.issue(cmd, now_);
     readQOcc_.sample(static_cast<double>(readCount_));
@@ -1117,6 +1233,7 @@ ConventionalMc::memoReplayStep(Tick until, bool& progressed)
     s.admitCount = memo_.pendingAdmits();
     s.kind = c.kind;
     s.isWrite = c.isWrite;
+    s.stallCause = c.stallCause;
     if (kind == CmdKind::Rd || kind == CmdKind::Wr) {
         const Op op = pool_[static_cast<std::size_t>(node)].op;
         removeOpIndexed(node);
@@ -1502,6 +1619,8 @@ getDramAddress(CheckpointReader& r)
 void
 ConventionalMc::saveCheckpoint(CheckpointWriter& w) const
 {
+    if (sink_ != nullptr)
+        sink_->instant("checkpoint", TelemetrySink::kChannelTrack, now_);
     const auto put_op = [&w](const Op& op) {
         putDramAddress(w, op.addr);
         w.putU64(op.reqId);
@@ -1509,6 +1628,8 @@ ConventionalMc::saveCheckpoint(CheckpointWriter& w) const
         w.putI64(op.arrival);
         w.putBool(op.singleOp);
         w.putI32(op.attempt);
+        w.putI64(op.retryWait);
+        w.putI64(op.linkDelay);
     };
     const auto put_bank_list = [&w](const BankList& l) {
         w.putI32(l.head);
@@ -1602,6 +1723,8 @@ ConventionalMc::restoreCheckpoint(CheckpointReader& r)
         op.arrival = r.getI64();
         op.singleOp = r.getBool();
         op.attempt = r.getI32();
+        op.retryWait = r.getI64();
+        op.linkDelay = r.getI64();
         return op;
     };
     const auto get_bank_list = [&r](BankList& l) {

@@ -106,6 +106,12 @@ struct McConfig
      * or spare event would deviate from any cached epoch anyway).
      */
     FaultConfig faults;
+    /**
+     * Opt-in observability (sim/telemetry.h): stall-cause attribution,
+     * latency breakdown, time-series sampling. Off (the default) keeps
+     * the controller bit-identical and allocation-free.
+     */
+    TelemetryConfig telemetry;
 };
 
 /** Conventional column-granularity memory controller for one channel. */
@@ -162,6 +168,10 @@ class ConventionalMc : public ChannelControllerBase
         bool singleOp = false;
         /** Re-read attempts already spent clearing a CE (fault path). */
         int attempt = 0;
+        /** ECC retry backoff absorbed so far (telemetry breakdown). */
+        Tick retryWait = 0;
+        /** Upstream link delay of the parent request (telemetry). */
+        Tick linkDelay = 0;
     };
 
     /** A deferred re-read waiting out its ECC retry backoff. */
@@ -254,6 +264,9 @@ class ConventionalMc : public ChannelControllerBase
         return dramCfg_.org.columnBytes;
     }
     bool stepOnce(Tick until) override;
+
+    /** Telemetry timeline: one span per committed device command. */
+    void installCommandTrace() override;
 
     // ---- shared helpers ------------------------------------------------
     void updateWriteDrain();
@@ -367,6 +380,11 @@ class ConventionalMc : public ChannelControllerBase
 
     std::uint64_t casIssued_ = 0;
     Accumulator readQOcc_;
+
+    /** Telemetry: cause of the gap the pending issue jumps over, decided
+     *  where the winning candidate is known; memoRecordIssue copies it
+     *  into the canonical step so replay re-charges it verbatim. */
+    StallCause lastStallCause_ = StallCause::NoRequest;
 
     /** Steady-state epoch detection (sim/epoch.h). Unlike the RoMe delta
      *  fast-forward, the conventional replay issues every cached decision

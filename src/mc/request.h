@@ -33,6 +33,13 @@ struct Request
     std::uint64_t size = 0;
     /** When the host handed the request to the MC. */
     Tick arrival = 0;
+    /**
+     * Ticks the request spent in transit upstream of the controller
+     * (node-link queueing; sim/node.h). arrival is the post-link
+     * delivery tick, so this is informational: it feeds the link
+     * component of the telemetry latency breakdown and nothing else.
+     */
+    Tick linkDelay = 0;
 };
 
 /** Completion record produced by a memory controller. */
@@ -47,6 +54,16 @@ struct Completion
      * layers surface this per request instead of only counting DUEs.
      */
     bool poisoned = false;
+
+    // ---- latency breakdown (ns; zero unless telemetry counters are on) --
+    /** Arrival to first command issued on the request's behalf. */
+    double queueNs = 0.0;
+    /** First issue to last data beat, minus retry backoff. */
+    double serviceNs = 0.0;
+    /** ECC retry backoff the request absorbed. */
+    double retryNs = 0.0;
+    /** Upstream node-link delay (before arrival; additive on top). */
+    double linkNs = 0.0;
 };
 
 } // namespace rome

@@ -19,6 +19,7 @@ coarsePartitionConfig(const HybridConfig& cfg)
 {
     RomeMcConfig mc;
     mc.faults = cfg.faults;
+    mc.telemetry = cfg.telemetry;
     return mc;
 }
 
@@ -27,6 +28,7 @@ finePartitionConfig(const HybridConfig& cfg)
 {
     McConfig mc;
     mc.faults = cfg.faults;
+    mc.telemetry = cfg.telemetry;
     return mc;
 }
 
@@ -222,6 +224,7 @@ putHybridRequest(CheckpointWriter& w, const Request& r)
     w.putU64(r.addr);
     w.putU64(r.size);
     w.putI64(r.arrival);
+    w.putI64(r.linkDelay);
 }
 
 Request
@@ -233,6 +236,7 @@ getHybridRequest(CheckpointReader& r)
     req.addr = r.getU64();
     req.size = r.getU64();
     req.arrival = r.getI64();
+    req.linkDelay = r.getI64();
     return req;
 }
 

@@ -46,6 +46,12 @@ struct HybridConfig
      * stats() carry both partitions' CE/DUE/retry/scrub/spare counters.
      */
     FaultConfig faults;
+    /**
+     * Opt-in observability, applied to both partitions; their stall
+     * tables, breakdown histograms and time series merge through the
+     * ordinary ControllerStats::merge in stats().
+     */
+    TelemetryConfig telemetry;
 };
 
 /** One RoMe channel + one conventional channel behind a size router. */

@@ -63,6 +63,38 @@ RomeMc::RomeMc(const DramConfig& base, VbaDesign design, RomeMcConfig cfg,
         map_.effectiveRowBytes() / baseCfg_.org.columnBytes);
     faults_.configure(cfg_.faults, totalVbas_, map_.rowsPerVba(),
                       lines_per_row, lines_per_row);
+    // Telemetry "banks" are VBAs: one stall row per (SID, VBA) key.
+    initTelemetry(cfg_.telemetry, totalVbas_);
+}
+
+void
+RomeMc::installCommandTrace()
+{
+    // The generator lowers every row op to device commands; tracing them
+    // gives the literal per-bank schedule. Installing the trace disables
+    // epoch memoization (memoActive checks tracingEnabled), so the
+    // timeline is slicing-invariant by construction.
+    dev_.setTrace([this](Tick when, const Command& cmd,
+                         const ChannelDevice::IssueResult& res) {
+        if (sink_ == nullptr)
+            return;
+        const char* name = "CMD";
+        Tick end = res.bankReadyAt;
+        switch (cmd.kind) {
+          case CmdKind::Act: name = "ACT"; break;
+          case CmdKind::Pre: name = "PRE"; break;
+          case CmdKind::Rd: name = "RD"; end = res.dataUntil; break;
+          case CmdKind::Wr: name = "WR"; end = res.dataUntil; break;
+          case CmdKind::RefPb: name = "REFpb"; break;
+          case CmdKind::RefAb: name = "REFab"; break;
+          default: break;
+        }
+        const int track = cmd.kind == CmdKind::RefAb
+                              ? TelemetrySink::kChannelTrack
+                              : flatBankIndex(map_.deviceOrganization(),
+                                              cmd.addr);
+        sink_->span(name, track, when, end > when ? end - when : 0);
+    });
 }
 
 VbaAddress
@@ -123,6 +155,7 @@ RomeMc::admitOps()
         op.arrival = req.arrival;
         op.usefulBytes = hi - lo;
         op.singleOp = total == 1;
+        op.linkDelay = req.linkDelay;
         queue_.push_back(op);
         ++frontChunk_;
     }
@@ -335,6 +368,28 @@ RomeMc::stepOnceIndexed(Tick until)
 
         const RowOp op = queue_[best_idx];
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best_idx));
+        if (telemetryOn() && at > now_) {
+            // The winning op waited [now_, at): the binding constraint is
+            // its own VBA (busy reading/writing/refreshing), else the
+            // Table III command gap, else an occupied operate FSM.
+            const auto key =
+                static_cast<std::size_t>(vbaKey(op.cmd.addr));
+            StallCause cause = StallCause::BankBusy;
+            if (vbaBusyUntil_[key] == at) {
+                cause = vbaBusyState_[key] == VbaState::Refreshing
+                            ? StallCause::Refresh
+                            : StallCause::BankBusy;
+            } else if (lastRowCmdAt_ != kTickInvalid &&
+                       lastRowCmdAt_ +
+                               timing_.gap(lastRowCmdWasWrite_, is_write,
+                                           lastRowCmdSid_ ==
+                                               op.cmd.addr.sid) ==
+                           at) {
+                cause = StallCause::CasChain;
+            }
+            lastStallCause_ = cause;
+            chargeStall(cause, now_, at, static_cast<int>(key));
+        }
         const auto res = gen_.execute(op.cmd, at);
         now_ = at;
         outstanding_.push(res.dataUntil);
@@ -368,9 +423,11 @@ RomeMc::stepOnceIndexed(Tick until)
         overfetch_ += res.bytes - op.usefulBytes;
 
         if (op.singleOp)
-            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned);
+            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned,
+                             kTickInvalid, op.retryWait, op.linkDelay);
         else
-            noteOpDone(op.reqId, res.dataUntil, poisoned);
+            noteOpDone(op.reqId, res.dataUntil, poisoned, kTickInvalid,
+                       op.retryWait);
         if (memo_on) {
             memoRecordIssue(at, res, vbaKey(op.cmd.addr), best_idx,
                             admitted, occupancy, is_write);
@@ -414,6 +471,34 @@ RomeMc::stepOnceIndexed(Tick until)
     if (next == kTickMax || next > until) {
         // now_ stays on its last event tick (slice invariance).
         return false;
+    }
+    if (telemetryOn() && next > now_) {
+        // Attribute the idle jump to the wake term that produced `next`.
+        // A due-but-blocked refresh owns the whole gap: it is what keeps
+        // its VBA's queued work (and the rotation) from progressing.
+        StallCause cause = StallCause::NoRequest;
+        if (cfg_.refreshEnabled && now_ >= refresh_.due) {
+            cause = StallCause::Refresh;
+        } else if (!retryQ_.empty() &&
+                   std::max(nextRetryAt_, now_ + 1) <= next) {
+            cause = StallCause::RetryBackoff;
+        } else if (!host_.empty() &&
+                   std::max(host_.front().arrival, now_ + 1) <= next &&
+                   queue_.size() + outstanding_.size() <
+                       static_cast<std::size_t>(cfg_.queueDepth)) {
+            cause = StallCause::NoRequest;
+        } else if (!host_.empty() &&
+                   queue_.size() + outstanding_.size() >=
+                       static_cast<std::size_t>(cfg_.queueDepth)) {
+            cause = StallCause::BankBusy; // admission is queue-bound
+        } else if (nextRefreshDue() == next) {
+            cause = StallCause::Refresh;
+        } else if (opBusy_.firstFreeAfter(now_) == next) {
+            cause = StallCause::BankBusy;
+        } else if (refBusy_.firstFreeAfter(now_) == next) {
+            cause = StallCause::Refresh;
+        }
+        chargeStall(cause, now_, next);
     }
     now_ = next;
     return true;
@@ -550,9 +635,11 @@ RomeMc::stepOnceLegacy(Tick until)
         overfetch_ += res.bytes - op.usefulBytes;
 
         if (op.singleOp)
-            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned);
+            noteSingleOpDone(op.reqId, op.arrival, res.dataUntil, poisoned,
+                             kTickInvalid, op.retryWait, op.linkDelay);
         else
-            noteOpDone(op.reqId, res.dataUntil, poisoned);
+            noteOpDone(op.reqId, res.dataUntil, poisoned, kTickInvalid,
+                       op.retryWait);
         return true;
     }
 
@@ -632,6 +719,8 @@ RomeMc::deferForFault(const RowOp& op, Tick data_end, bool& poisoned)
         // Clean completes; a DUE completes with the poison bit set so the
         // serving layer can count per-request poisoned completions.
         poisoned = v == EccVerdict::UncorrectableError;
+        if (poisoned && sink_ != nullptr)
+            sink_->instant("due", vba, data_end);
         return false;
     }
     if (op.attempt < faults_.config().retryLimit) {
@@ -659,6 +748,12 @@ void
 RomeMc::queueRetry(RowOp op, Tick ready_at)
 {
     faults_.noteRetry();
+    // Time between the issue decision and the backoff expiry is the
+    // request's retry component, subtracted from its queueing time.
+    if (telemetryOn() && ready_at > now_)
+        op.retryWait += ready_at - now_;
+    if (sink_ != nullptr)
+        sink_->instant("retry", TelemetrySink::kChannelTrack, now_);
     retryQ_.push_back(PendingRetry{op, ready_at});
     nextRetryAt_ = std::min(nextRetryAt_, ready_at);
 }
@@ -697,6 +792,8 @@ RomeMc::runScrub()
 void
 RomeMc::applySpare(const SpareEvent& ev)
 {
+    if (sink_ != nullptr)
+        sink_->instant("spare", ev.bank, now_);
     const auto rewrite = [&](RowOp& op) {
         if (op.cmd.addr.row == ev.oldRow && vbaKey(op.cmd.addr) == ev.bank)
             op.cmd.addr.row = ev.newRow;
@@ -748,6 +845,9 @@ RomeMc::memoRecordIssue(Tick at, const CommandGenerator::RowOpResult& res,
     s.resBytes = static_cast<std::uint32_t>(res.bytes);
     s.admitCount = admitted;
     s.isWrite = is_write;
+    // Diagnostic rider: replay re-charges the same cause for the same
+    // per-step gap, keeping memoized and live stall accounting equal.
+    s.stallCause = static_cast<std::uint8_t>(lastStallCause_);
     const EpochDetector::Event ev = memo_.recordStep(s);
     if (ev == EpochDetector::Event::CaptureFirst) {
         devSnapshot_ = dev_.counterSnapshot();
@@ -907,6 +1007,7 @@ RomeMc::memoVerifyAndStageEpoch()
             op.usefulBytes = std::min(chunk_lo + eff, req.addr + req.size) -
                              std::max(chunk_lo, req.addr);
             op.singleOp = (req.addr + req.size - 1) / eff == first;
+            op.linkDelay = req.linkDelay;
             memoAdmitOps_.push_back(op);
             ++chunk_pos;
             ++vq;
@@ -980,18 +1081,38 @@ RomeMc::memoReplayEpoch()
                    : memoAdmitOps_[static_cast<std::size_t>(
                          tag - memoBoundaryCount_)];
     };
+    Tick prev = 0; // step-tick offsets from base; now_ == base on entry
     for (std::size_t i = 0; i < steps.size(); ++i) {
         const EpochDetector::Step& s = steps[i];
         const RowOp& op = op_at(memoPopTag_[i]);
+        if (telemetry_) {
+            // Re-charge the recorded cause for the recorded gap: the sum
+            // of all per-step gaps plus the boundary wrap below is one
+            // period, so memoized and live stall totals agree exactly.
+            chargeStall(static_cast<StallCause>(s.stallCause), prev,
+                        s.tick, static_cast<int>(s.target));
+            prev = s.tick;
+        }
         if (s.isWrite)
             bytesWritten_ += op.usefulBytes;
         else
             bytesRead_ += op.usefulBytes;
         overfetch_ += s.resBytes - op.usefulBytes;
+        // The canonical issue tick (base + s.tick) feeds the breakdown's
+        // first-issue component; replay's now_ sits at the epoch base.
         if (op.singleOp)
-            noteSingleOpDone(op.reqId, op.arrival, base + s.dataUntil);
+            noteSingleOpDone(op.reqId, op.arrival, base + s.dataUntil,
+                             false, base + s.tick, op.retryWait,
+                             op.linkDelay);
         else
-            noteOpDone(op.reqId, base + s.dataUntil);
+            noteOpDone(op.reqId, base + s.dataUntil, false, base + s.tick,
+                       op.retryWait);
+    }
+    if (telemetry_ && !steps.empty()) {
+        // Boundary wrap: live charges this gap when the next epoch's
+        // first step issues, with that step's (identical) cause.
+        chargeStall(static_cast<StallCause>(steps[0].stallCause), prev,
+                    memo_.period(), static_cast<int>(steps[0].target));
     }
     // The surviving slots become the next epoch's boundary queue.
     memoScratchOps_.clear();
@@ -1048,6 +1169,11 @@ RomeMc::tryFastForward(Tick until)
     gen_.advanceCounters(genRowCmdsDelta_, genHitsDelta_,
                          genFallbacksDelta_, k);
     now_ = t0 + delta;
+
+    // Span tier: fast-forwards stay on (only command tracing disables
+    // memoization), so the timeline shows each replayed stretch.
+    if (sink_ != nullptr)
+        sink_->span("epoch-ff", TelemetrySink::kChannelTrack, t0, delta);
 
     ffEpochs_ += k;
     ffSteps_ += k * memo_.stepsPerEpoch();
@@ -1107,6 +1233,8 @@ RomeMc::stats() const
 void
 RomeMc::saveCheckpoint(CheckpointWriter& w) const
 {
+    if (sink_ != nullptr)
+        sink_->instant("checkpoint", TelemetrySink::kChannelTrack, now_);
     const auto put_row_op = [&w](const RowOp& op) {
         w.putU8(static_cast<std::uint8_t>(op.cmd.kind));
         w.putI32(op.cmd.addr.sid);
@@ -1117,6 +1245,8 @@ RomeMc::saveCheckpoint(CheckpointWriter& w) const
         w.putU64(op.usefulBytes);
         w.putBool(op.singleOp);
         w.putI32(op.attempt);
+        w.putI64(op.retryWait);
+        w.putI64(op.linkDelay);
     };
     const auto put_slot = [&w](const FsmSlot& s) {
         w.putI32(s.vba.sid);
@@ -1191,6 +1321,8 @@ RomeMc::restoreCheckpoint(CheckpointReader& r)
         op.usefulBytes = r.getU64();
         op.singleOp = r.getBool();
         op.attempt = r.getI32();
+        op.retryWait = r.getI64();
+        op.linkDelay = r.getI64();
         return op;
     };
     const auto get_slot = [&r](FsmSlot& s) {

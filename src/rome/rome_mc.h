@@ -110,6 +110,12 @@ struct RomeMcConfig
      * memoization (retries make the schedule aperiodic).
      */
     FaultConfig faults;
+    /**
+     * Opt-in observability (sim/telemetry.h): stall-cause attribution,
+     * per-request latency breakdown, time-series sampling. Off (the
+     * default) keeps the controller bit-identical and allocation-free.
+     */
+    TelemetryConfig telemetry;
 };
 
 /** How channel-local addresses map onto (VBA, SID, row) chunks. */
@@ -185,6 +191,10 @@ class RomeMc : public ChannelControllerBase
         bool singleOp = false;
         /** Fault-retry attempt count (0 = first issue). */
         int attempt = 0;
+        /** Accumulated retry backoff (telemetry breakdown component). */
+        Tick retryWait = 0;
+        /** Upstream link transit inherited from the request (telemetry). */
+        Tick linkDelay = 0;
     };
 
     /** A row op awaiting its fault-retry backoff before re-entering the
@@ -212,6 +222,7 @@ class RomeMc : public ChannelControllerBase
     bool stepOnce(Tick until) override;
     bool stepOnceLegacy(Tick until);
     bool stepOnceIndexed(Tick until);
+    void installCommandTrace() override;
 
     bool vbaBusy(const VbaAddress& a, Tick at) const;
     int busyCount(const std::vector<FsmSlot>& slots, Tick at) const;
@@ -299,6 +310,13 @@ class RomeMc : public ChannelControllerBase
     /** Refresh rotation across all (SID, VBA) pairs of the channel. */
     RefreshRotation refresh_;
     int totalVbas_ = 0;
+
+    /**
+     * Cause of the issue gap the pending decision jumped over, decided
+     * where the winning op is known; memoRecordIssue copies it into the
+     * canonical step so epoch replay re-charges it verbatim.
+     */
+    StallCause lastStallCause_ = StallCause::NoRequest;
 
     /** Fault retries waiting out their backoff (unordered; scanned). */
     std::vector<PendingRetry> retryQ_;

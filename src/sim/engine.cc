@@ -24,7 +24,10 @@ ControllerStats::operator==(const ControllerStats& o) const
            retryCount == o.retryCount && scrubCount == o.scrubCount &&
            sparedRows == o.sparedRows &&
            poisonedRequests == o.poisonedRequests &&
-           // schedSteps/memoFfSteps deliberately excluded (see engine.h).
+           // schedSteps/memoFfSteps and the telemetry fields (stallTicks,
+           // breakdown histograms, timeSeries) deliberately excluded (see
+           // engine.h): diagnostics of the run, not results — and
+           // telemetry-on must compare equal to telemetry-off.
            finishedAt == o.finishedAt &&
            achievedBandwidth == o.achievedBandwidth &&
            effectiveBandwidth == o.effectiveBandwidth &&
@@ -73,6 +76,13 @@ ControllerStats::merge(const ControllerStats& o)
     poisonedRequests += o.poisonedRequests;
     schedSteps += o.schedSteps;
     memoFfSteps += o.memoFfSteps;
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        stallTicks[i] += o.stallTicks[i];
+    queueNsHist.merge(o.queueNsHist);
+    serviceNsHist.merge(o.serviceNsHist);
+    retryNsHist.merge(o.retryNsHist);
+    linkNsHist.merge(o.linkNsHist);
+    timeSeries.merge(o.timeSeries);
     finishedAt = std::max(finishedAt, o.finishedAt);
     latencyMaxNs = std::max(latencyMaxNs, o.latencyMaxNs);
     // Bucket counts add, so merged percentiles are exact — identical to a
@@ -182,8 +192,9 @@ ChannelControllerBase::enqueue(const Request& req)
         // (noteSingleOpDone) skips the in-flight map entirely.
         ++singleOpsPending_;
     } else {
-        inflight_[req.id] = ReqState{req.arrival,
-                                     static_cast<int>(last - first + 1)};
+        ReqState st{req.arrival, static_cast<int>(last - first + 1)};
+        st.linkDelay = req.linkDelay;
+        inflight_[req.id] = st;
     }
     host_.push_back(req);
     hostPeak_ = std::max(hostPeak_, host_.size());
@@ -272,41 +283,117 @@ ChannelControllerBase::pumpArrivals()
 
 void
 ChannelControllerBase::noteOpDone(std::uint64_t req_id, Tick data_end,
-                                  bool poisoned)
+                                  bool poisoned, Tick issue_at,
+                                  Tick retry_wait)
 {
     auto it = inflight_.find(req_id);
     if (it == inflight_.end())
         panic("completion for unknown request %llu",
               static_cast<unsigned long long>(req_id));
-    it->second.poisoned |= poisoned;
-    if (--it->second.opsRemaining == 0) {
+    ReqState& st = it->second;
+    st.poisoned |= poisoned;
+    if (telemetry_) {
+        if (st.firstIssue == kTickInvalid)
+            st.firstIssue = issue_at == kTickInvalid ? now_ : issue_at;
+        st.retryTicks += retry_wait;
+    }
+    if (--st.opsRemaining == 0) {
         ++completedCount_;
-        if (it->second.poisoned)
+        if (st.poisoned)
             ++poisonedCount_;
+        Completion* slot = nullptr;
         if (retainCompletions_) {
-            completions_.push_back(
-                Completion{req_id, data_end, it->second.poisoned});
+            completions_.push_back(Completion{req_id, data_end,
+                                              st.poisoned});
+            slot = &completions_.back();
         }
-        const double lat_ns = nsFromTicks(data_end - it->second.arrival);
+        const double lat_ns = nsFromTicks(data_end - st.arrival);
         latencyNs_.sample(lat_ns);
         latencyHistNs_.sample(lat_ns);
+        if (telemetry_) {
+            telemetrySampleCompletion(st.arrival, data_end, st.firstIssue,
+                                      st.retryTicks, st.linkDelay, slot);
+        }
         inflight_.erase(it);
     }
 }
 
 void
 ChannelControllerBase::noteSingleOpDone(std::uint64_t req_id, Tick arrival,
-                                        Tick data_end, bool poisoned)
+                                        Tick data_end, bool poisoned,
+                                        Tick issue_at, Tick retry_wait,
+                                        Tick link_delay)
 {
     --singleOpsPending_;
     ++completedCount_;
     if (poisoned)
         ++poisonedCount_;
-    if (retainCompletions_)
+    Completion* slot = nullptr;
+    if (retainCompletions_) {
         completions_.push_back(Completion{req_id, data_end, poisoned});
+        slot = &completions_.back();
+    }
     const double lat_ns = nsFromTicks(data_end - arrival);
     latencyNs_.sample(lat_ns);
     latencyHistNs_.sample(lat_ns);
+    if (telemetry_) {
+        const Tick fi = issue_at == kTickInvalid ? now_ : issue_at;
+        telemetrySampleCompletion(arrival, data_end, fi, retry_wait,
+                                  link_delay, slot);
+    }
+}
+
+void
+ChannelControllerBase::initTelemetry(const TelemetryConfig& cfg,
+                                     int num_banks)
+{
+    if (!cfg.counters)
+        return;
+    telemetry_ = true;
+    stall_.init(num_banks);
+    const Tick period = cfg.samplePeriod > 0
+                            ? cfg.samplePeriod
+                            : ticksFromNs(std::int64_t{1000});
+    series_.init(period, cfg.sampleCapacity);
+}
+
+void
+ChannelControllerBase::telemetrySampleCompletion(Tick arrival, Tick data_end,
+                                                 Tick first_issue,
+                                                 Tick retry_ticks,
+                                                 Tick link_delay,
+                                                 Completion* c)
+{
+    // Exact decomposition: queue + service + retry == data_end - arrival
+    // in ticks. Retry backoff is carved out of the pre-issue wait, so a
+    // retry landing after the request's first issue can drive the queue
+    // component negative — the Completion keeps it signed (the sum stays
+    // exact); the histogram clamps at zero like every negative sample.
+    if (first_issue == kTickInvalid)
+        first_issue = data_end;
+    const double queue_ns =
+        nsFromTicks(first_issue - arrival - retry_ticks);
+    const double service_ns = nsFromTicks(data_end - first_issue);
+    const double retry_ns = nsFromTicks(retry_ticks);
+    const double link_ns = nsFromTicks(link_delay);
+    queueHistNs_.sample(queue_ns);
+    serviceHistNs_.sample(service_ns);
+    retryHistNs_.sample(retry_ns);
+    linkHistNs_.sample(link_ns);
+    if (c != nullptr) {
+        c->queueNs = queue_ns;
+        c->serviceNs = service_ns;
+        c->retryNs = retry_ns;
+        c->linkNs = link_ns;
+    }
+    if (series_.enabled()) {
+        TimeSample cur;
+        cur.completed = completedCount_;
+        cur.bytes = bytesRead_ + bytesWritten_;
+        cur.occupancy = inflight_.size() + singleOpsPending_;
+        cur.stall = stall_.totals();
+        series_.observe(data_end, cur);
+    }
 }
 
 void
@@ -363,6 +450,14 @@ ChannelControllerBase::fillBaseStats(ControllerStats& s) const
     s.sparedRows = faults_.sparedRows();
     s.poisonedRequests = poisonedCount_;
     s.schedSteps = steps_;
+    if (telemetry_) {
+        s.stallTicks = stall_.totals();
+        s.queueNsHist = queueHistNs_;
+        s.serviceNsHist = serviceHistNs_;
+        s.retryNsHist = retryHistNs_;
+        s.linkNsHist = linkHistNs_;
+        s.timeSeries = series_;
+    }
     const auto& c = device().counters();
     s.acts = c.acts.value();
     s.pres = c.pres.value();
@@ -386,6 +481,7 @@ putRequest(CheckpointWriter& w, const Request& r)
     w.putU64(r.addr);
     w.putU64(r.size);
     w.putI64(r.arrival);
+    w.putI64(r.linkDelay);
 }
 
 Request
@@ -397,6 +493,7 @@ getRequest(CheckpointReader& r)
     q.addr = r.getU64();
     q.size = r.getU64();
     q.arrival = r.getI64();
+    q.linkDelay = r.getI64();
     return q;
 }
 
@@ -425,12 +522,19 @@ ChannelControllerBase::saveBaseState(CheckpointWriter& w) const
         w.putI64(st.arrival);
         w.putI32(st.opsRemaining);
         w.putBool(st.poisoned);
+        w.putI64(st.firstIssue);
+        w.putI64(st.retryTicks);
+        w.putI64(st.linkDelay);
     }
     w.putCount(completions_.size());
     for (const Completion& c : completions_) {
         w.putU64(c.id);
         w.putI64(c.finished);
         w.putBool(c.poisoned);
+        w.putF64(c.queueNs);
+        w.putF64(c.serviceNs);
+        w.putF64(c.retryNs);
+        w.putF64(c.linkNs);
     }
     latencyNs_.saveState(w);
     latencyHistNs_.saveState(w);
@@ -446,6 +550,14 @@ ChannelControllerBase::saveBaseState(CheckpointWriter& w) const
     w.putU64(poisonedCount_);
     w.putU64(singleOpsPending_);
     w.putBool(retainCompletions_);
+    // Telemetry accumulators (empty structures when the tier is off —
+    // the enable flags themselves are config-derived, not serialized).
+    stall_.saveState(w);
+    series_.saveState(w);
+    queueHistNs_.saveState(w);
+    serviceHistNs_.saveState(w);
+    retryHistNs_.saveState(w);
+    linkHistNs_.saveState(w);
 }
 
 void
@@ -466,6 +578,9 @@ ChannelControllerBase::loadBaseState(CheckpointReader& r)
         st.arrival = r.getI64();
         st.opsRemaining = r.getI32();
         st.poisoned = r.getBool();
+        st.firstIssue = r.getI64();
+        st.retryTicks = r.getI64();
+        st.linkDelay = r.getI64();
         inflight_.emplace(id, st);
     }
     completions_.clear();
@@ -476,6 +591,10 @@ ChannelControllerBase::loadBaseState(CheckpointReader& r)
         c.id = r.getU64();
         c.finished = r.getI64();
         c.poisoned = r.getBool();
+        c.queueNs = r.getF64();
+        c.serviceNs = r.getF64();
+        c.retryNs = r.getF64();
+        c.linkNs = r.getF64();
         completions_.push_back(c);
     }
     latencyNs_.loadState(r);
@@ -492,6 +611,12 @@ ChannelControllerBase::loadBaseState(CheckpointReader& r)
     poisonedCount_ = r.getU64();
     singleOpsPending_ = r.getU64();
     retainCompletions_ = r.getBool();
+    stall_.loadState(r);
+    series_.loadState(r);
+    queueHistNs_.loadState(r);
+    serviceHistNs_.loadState(r);
+    retryHistNs_.loadState(r);
+    linkHistNs_.loadState(r);
     // The source pointer is transient: the caller re-attaches a fresh
     // stream with resumeSource (or leaves it detached when none was
     // bound — sourceDone_ then restored as true).

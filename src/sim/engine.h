@@ -52,6 +52,7 @@
 #include "mc/complexity.h"
 #include "mc/request.h"
 #include "sim/fault.h"
+#include "sim/telemetry.h"
 
 namespace rome
 {
@@ -113,6 +114,23 @@ struct ControllerStats
      */
     std::uint64_t schedSteps = 0;
     std::uint64_t memoFfSteps = 0;
+
+    // ---- telemetry (sim/telemetry.h; empty with counters disabled) -------
+    /**
+     * Where this channel's scheduler time went: per-cause tick totals,
+     * summing to now() after a drain. Merge-added like the reliability
+     * counters; excluded from operator== with the other telemetry fields
+     * below — they are diagnostics of the same run, and telemetry-off
+     * runs must compare equal to telemetry-on runs bit-for-bit.
+     */
+    StallTicks stallTicks{};
+    /** Request-latency breakdown components (each merges exactly). */
+    LatencyHistogram queueNsHist;
+    LatencyHistogram serviceNsHist;
+    LatencyHistogram retryNsHist;
+    LatencyHistogram linkNsHist;
+    /** Occupancy / bandwidth / stall-mix samples over completion time. */
+    TimeSeries timeSeries;
 
     // ---- derived --------------------------------------------------------
     /** Last data-transfer end tick. */
@@ -444,6 +462,33 @@ class ChannelControllerBase : public IMemoryController
     /** The fault process and recovery state this controller consults. */
     const FaultInjector& faultInjector() const { return faults_; }
 
+    // ---- telemetry (sim/telemetry.h) ------------------------------------
+
+    /** Per-bank / per-channel stall attribution (empty when off). */
+    const StallTable& stallTable() const { return stall_; }
+
+    /** The occupancy / bandwidth / stall-mix sample ring. */
+    const TimeSeries& timeSeries() const { return series_; }
+
+    /**
+     * Attach an event sink for the timeline exporter (nullptr detaches).
+     * With @p trace_commands the controller additionally installs a
+     * device trace that records one span per committed command — which
+     * disables epoch memoization (any device trace does), so the
+     * recorded timeline is byte-identical across thread counts and
+     * runUntil slicings. Without it only coarse events are recorded
+     * (epoch fast-forwards, retries, spares, checkpoints).
+     */
+    void
+    attachTelemetrySink(TelemetrySink* sink, bool trace_commands = false)
+    {
+        sink_ = sink;
+        if (sink != nullptr && trace_commands)
+            installCommandTrace();
+    }
+
+    TelemetrySink* telemetrySink() const { return sink_; }
+
     /**
      * Disable the per-request completion log (completions() stays
      * empty; completedRequests / latency stats are unaffected). Required
@@ -479,6 +524,12 @@ class ChannelControllerBase : public IMemoryController
         int opsRemaining; // not yet completed
         /** Any op of this request read poisoned (DUE) data. */
         bool poisoned = false;
+        /** First command issued for the request (breakdown; telemetry). */
+        Tick firstIssue = kTickInvalid;
+        /** Retry backoff accumulated across the request's ops. */
+        Tick retryTicks = 0;
+        /** Upstream link delay copied from the request (telemetry). */
+        Tick linkDelay = 0;
     };
 
     /**
@@ -517,15 +568,23 @@ class ChannelControllerBase : public IMemoryController
      * completion is poisoned if any of its ops were.
      */
     void noteOpDone(std::uint64_t req_id, Tick data_end,
-                    bool poisoned = false);
+                    bool poisoned = false, Tick issue_at = kTickInvalid,
+                    Tick retry_wait = 0);
 
     /**
      * Completion fast path for a request that decomposed into exactly one
      * operation (the caller knows from its admission-time chunking, and
      * carries the arrival tick in the op): no in-flight map traffic.
+     *
+     * The trailing parameters feed the telemetry latency breakdown and
+     * default to "issued now, no retry, no link delay"; issue_at ==
+     * kTickInvalid reads as now_ (epoch replay passes the canonical
+     * issue tick explicitly, since its clock sits at the epoch base).
      */
     void noteSingleOpDone(std::uint64_t req_id, Tick arrival, Tick data_end,
-                          bool poisoned = false);
+                          bool poisoned = false,
+                          Tick issue_at = kTickInvalid, Tick retry_wait = 0,
+                          Tick link_delay = 0);
 
     /** Fill the base-owned fields of @p s (bytes, latency, bandwidth). */
     void fillBaseStats(ControllerStats& s) const;
@@ -545,6 +604,34 @@ class ChannelControllerBase : public IMemoryController
 
     /** True when no bound source remains (or none was ever bound). */
     bool sourceDrained() const { return sourceDone_; }
+
+    // ---- telemetry plumbing ---------------------------------------------
+
+    /**
+     * Arm the counter tier from @p cfg (no-op when cfg.counters is
+     * false): sizes the per-bank stall rows and the sample ring.
+     * Subclass constructors call this with their bank/VBA count.
+     */
+    void initTelemetry(const TelemetryConfig& cfg, int num_banks);
+
+    /** Counter-tier master switch (one branch on the hot path). */
+    bool telemetryOn() const { return telemetry_; }
+
+    /**
+     * Charge the scheduler-time advance [from, to) to @p cause (and to
+     * @p bank when >= 0). Call exactly where now_ advances, so any
+     * slicing of the drive attributes identically and the cause totals
+     * sum to now() after a drain.
+     */
+    void
+    chargeStall(StallCause cause, Tick from, Tick to, int bank = -1)
+    {
+        if (telemetry_ && to > from)
+            stall_.charge(cause, to - from, bank);
+    }
+
+    /** Subclass hook installing the per-command device trace. */
+    virtual void installCommandTrace() {}
 
     /**
      * Serialize / restore every base-owned mutable field (clock, host
@@ -574,8 +661,23 @@ class ChannelControllerBase : public IMemoryController
     std::uint64_t steps_ = 0;
     /** Requests ever enqueued; completions_ capacity is kept ahead of it. */
     std::uint64_t totalRequests_ = 0;
+    /** Counter-tier telemetry state (initTelemetry; empty when off). */
+    bool telemetry_ = false;
+    StallTable stall_;
+    TimeSeries series_;
+    LatencyHistogram queueHistNs_;
+    LatencyHistogram serviceHistNs_;
+    LatencyHistogram retryHistNs_;
+    LatencyHistogram linkHistNs_;
+    /** Timeline event sink (attachTelemetrySink; null when detached). */
+    TelemetrySink* sink_ = nullptr;
 
   private:
+    /** Record breakdown components and push a time-series observation. */
+    void telemetrySampleCompletion(Tick arrival, Tick data_end,
+                                   Tick first_issue, Tick retry_ticks,
+                                   Tick link_delay, Completion* c);
+
     /** Pull from source_ until the host window is full or it runs dry. */
     void refillFromSource();
 

@@ -88,6 +88,13 @@ class EpochDetector
         /** Scheduler-defined action code. */
         std::uint16_t kind = 0;
         bool isWrite = false;
+        /**
+         * Telemetry stall cause of the clock advance into this step
+         * (sim/telemetry.h). A diagnostic rider: it is a function of the
+         * decision fields above, so it is excluded from matches() and
+         * replays verbatim with the canonical epoch.
+         */
+        std::uint8_t stallCause = 0;
 
         /** Equality of everything except the absolute tick fields. */
         bool

@@ -34,7 +34,12 @@ LinkModel::inject(Tick at, std::uint64_t bytes)
         while (!creditFree_.empty() && creditFree_.front() <= start)
             creditFree_.pop_front();
         if (static_cast<int>(creditFree_.size()) >= cfg_.credits) {
-            start = std::max(start, creditFree_.front());
+            const Tick freed = creditFree_.front();
+            if (freed > start) {
+                creditStall_ +=
+                    static_cast<std::uint64_t>(freed - start);
+                start = freed;
+            }
             creditFree_.pop_front();
         }
     }
@@ -70,6 +75,7 @@ LinkModel::reset()
     creditFree_.clear();
     injected_ = 0;
     bytes_ = 0;
+    creditStall_ = 0;
     queueHist_ = LatencyHistogram{};
 }
 
@@ -221,6 +227,9 @@ NodeRouter::route(const Request& r, std::vector<RoutedSlice>& out)
         s.req.size = sz;
         s.req.arrival =
             links_[static_cast<std::size_t>(cube)].inject(r.arrival, sz);
+        // Telemetry: the slice remembers its link transit so the
+        // controller can attribute the delay in the latency breakdown.
+        s.req.linkDelay = s.req.arrival - r.arrival;
         out.push_back(s);
         offset += sz;
     }
@@ -396,6 +405,22 @@ NodeDriver::run(double offered_rps) const
     }
     for (int cube = 0; cube < cfg_.numCubes; ++cube)
         res.linkQueueDelayNs.merge(router.link(cube).queueDelayHistNs());
+    // Telemetry: credit-exhaustion waits happen at the links, outside any
+    // controller, so the dedicated router pass is the one place that sees
+    // them. Fold them into the node aggregate's LinkCredit stall bucket —
+    // but only when the controllers themselves ran with telemetry, so a
+    // telemetry-off node result stays bit-identical to PR 9.
+    std::uint64_t stall_total = 0;
+    for (const std::uint64_t t : res.aggregate.stallTicks)
+        stall_total += t;
+    if (stall_total > 0 || res.aggregate.queueNsHist.count() > 0 ||
+        res.aggregate.timeSeries.enabled()) {
+        std::uint64_t credit = 0;
+        for (int cube = 0; cube < cfg_.numCubes; ++cube)
+            credit += router.link(cube).creditStallTicks();
+        res.aggregate.stallTicks[static_cast<std::size_t>(
+            StallCause::LinkCredit)] += credit;
+    }
     return res;
 }
 

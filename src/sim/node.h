@@ -124,6 +124,9 @@ class LinkModel
     std::uint64_t injectedBytes() const { return bytes_; }
     /** Distribution of start - inject (queuing + credit stall), ns. */
     const LatencyHistogram& queueDelayHistNs() const { return queueHist_; }
+    /** Ticks injections waited on credit exhaustion alone (telemetry:
+     *  feeds the node aggregate's StallCause::LinkCredit bucket). */
+    std::uint64_t creditStallTicks() const { return creditStall_; }
 
   private:
     LinkConfig cfg_;
@@ -132,6 +135,7 @@ class LinkModel
     std::deque<Tick> creditFree_;
     std::uint64_t injected_ = 0;
     std::uint64_t bytes_ = 0;
+    std::uint64_t creditStall_ = 0;
     LatencyHistogram queueHist_;
 };
 

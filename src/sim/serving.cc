@@ -183,6 +183,21 @@ makeRatePoint(double offered_rps, double achieved_rps,
         pt.ffFraction = static_cast<double>(aggregate.memoFfSteps) /
                         static_cast<double>(aggregate.schedSteps);
     }
+    std::uint64_t stall_total = 0;
+    for (const std::uint64_t t : aggregate.stallTicks)
+        stall_total += t;
+    pt.telemetry = stall_total > 0 || aggregate.queueNsHist.count() > 0 ||
+                   aggregate.timeSeries.enabled();
+    if (pt.telemetry) {
+        pt.stallTicks = aggregate.stallTicks;
+        pt.queueMeanNs = aggregate.queueNsHist.meanNs();
+        pt.queueP99Ns = aggregate.queueNsHist.percentileNs(99.0);
+        pt.serviceMeanNs = aggregate.serviceNsHist.meanNs();
+        pt.serviceP99Ns = aggregate.serviceNsHist.percentileNs(99.0);
+        pt.retryMeanNs = aggregate.retryNsHist.meanNs();
+        pt.linkMeanNs = aggregate.linkNsHist.meanNs();
+        pt.timeSeries = aggregate.timeSeries;
+    }
     pt.saturated =
         pt.achievedRps < pt.offeredRps * (1.0 - saturation_tolerance);
     return pt;
@@ -237,6 +252,43 @@ ratePointJson(JsonWriter& w, const RatePoint& pt)
     w.key("schedSteps").value(pt.schedSteps);
     w.key("memoFfSteps").value(pt.memoFfSteps);
     w.key("ffFraction").value(pt.ffFraction);
+    // Telemetry keys appear only when the run enabled counters, so rows
+    // of a telemetry-off bench are byte-identical to the pre-telemetry
+    // schema. The nested objects/arrays are informational — the bench
+    // differ only compares scalar top-level values.
+    if (pt.telemetry) {
+        w.key("telemetry").value(true);
+        w.key("stallTicks").beginObject();
+        for (std::size_t i = 0; i < kNumStallCauses; ++i) {
+            w.key(stallCauseName(static_cast<StallCause>(i)))
+                .value(pt.stallTicks[i]);
+        }
+        w.endObject();
+        w.key("queueMeanNs").value(pt.queueMeanNs);
+        w.key("queueP99Ns").value(pt.queueP99Ns);
+        w.key("serviceMeanNs").value(pt.serviceMeanNs);
+        w.key("serviceP99Ns").value(pt.serviceP99Ns);
+        w.key("retryMeanNs").value(pt.retryMeanNs);
+        w.key("linkMeanNs").value(pt.linkMeanNs);
+        if (pt.timeSeries.enabled() && !pt.timeSeries.samples().empty()) {
+            w.key("timeSeries").beginObject();
+            w.key("periodNs").value(nsFromTicks(pt.timeSeries.period()));
+            w.key("samples").beginArray();
+            for (const TimeSample& s : pt.timeSeries.samples()) {
+                std::uint64_t stalled = 0;
+                for (const std::uint64_t t : s.stall)
+                    stalled += t;
+                w.beginObject();
+                w.key("completed").value(s.completed);
+                w.key("bytes").value(s.bytes);
+                w.key("occupancy").value(s.occupancy);
+                w.key("stallTicks").value(stalled);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+    }
 }
 
 } // namespace rome

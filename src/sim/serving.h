@@ -189,6 +189,21 @@ struct RatePoint
     std::uint64_t memoFfSteps = 0;
     /** memoFfSteps / schedSteps — 0 when memoization never engaged. */
     double ffFraction = 0.0;
+    // ---- telemetry (sim/telemetry.h; populated only when the run's
+    // controllers enabled TelemetryConfig::counters) ---------------------
+    /** Any stall/breakdown accounting present at this point. */
+    bool telemetry = false;
+    /** Cube-total idle ticks by cause (sums to the channels' spans). */
+    StallTicks stallTicks{};
+    /** Per-request latency decomposition (means + tail, ns). */
+    double queueMeanNs = 0.0;
+    double queueP99Ns = 0.0;
+    double serviceMeanNs = 0.0;
+    double serviceP99Ns = 0.0;
+    double retryMeanNs = 0.0;
+    double linkMeanNs = 0.0;
+    /** Cube-merged occupancy/bandwidth/stall-mix time series. */
+    TimeSeries timeSeries;
 };
 
 /** An offered-rate sweep: the latency–throughput curve plus its knee. */
